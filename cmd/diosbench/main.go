@@ -1,0 +1,141 @@
+// Command diosbench regenerates every table and figure of the paper's
+// evaluation (§5) against the FG3-lite simulated DSP:
+//
+//	diosbench -all          # everything below, in order
+//	diosbench -table1       # Table 1: compile time and memory
+//	diosbench -figure5      # Figure 5: kernel speedups vs. baselines
+//	diosbench -figure6      # Figure 6: saturation-budget ablation
+//	diosbench -motivating   # §2 motivating-example numbers
+//	diosbench -expert       # §5.4 expert-kernel comparison
+//	diosbench -ablation     # §5.6 vectorization ablation
+//	diosbench -cost-ablation # extraction cost-model ablation
+//	diosbench -theia        # §5.7 Theia case study
+//	diosbench -validate     # translation validation of all 21 kernels
+//
+// Use -only <substring> to restrict kernel-suite experiments, and -v for
+// per-kernel progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/bench"
+)
+
+func main() {
+	var (
+		all        = flag.Bool("all", false, "run every experiment")
+		table1     = flag.Bool("table1", false, "Table 1: compile time and memory")
+		figure5    = flag.Bool("figure5", false, "Figure 5: kernel speedups")
+		figure6    = flag.Bool("figure6", false, "Figure 6: timeout ablation")
+		motivating = flag.Bool("motivating", false, "§2 motivating example")
+		expertCmp  = flag.Bool("expert", false, "§5.4 expert comparison")
+		ablation   = flag.Bool("ablation", false, "§5.6 vectorization ablation")
+		costAbl    = flag.Bool("cost-ablation", false, "cost-model design-choice ablation")
+		theiaCase  = flag.Bool("theia", false, "§5.7 Theia case study")
+		validate   = flag.Bool("validate", false, "translation validation of the suite")
+		only       = flag.String("only", "", "restrict suite experiments to kernels whose ID contains this string")
+		verbose    = flag.Bool("v", false, "per-kernel progress")
+		timeout    = flag.Duration("timeout", 0, "equality saturation timeout (default: paper's 180s)")
+	)
+	flag.Parse()
+
+	if !(*all || *table1 || *figure5 || *figure6 || *motivating || *expertCmp ||
+		*ablation || *costAbl || *theiaCase || *validate) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := diospyros.Options{Timeout: *timeout}
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Println("  " + s) }
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "diosbench:", err)
+		os.Exit(1)
+	}
+
+	var f5rows []bench.F5Row
+	needF5 := *all || *figure5 || *motivating
+	if needF5 {
+		fmt.Println("== Figure 5: compiling and simulating the 21-kernel suite ==")
+		rows, err := bench.Figure5(bench.F5Options{Opts: opts, Only: *only, Progress: progress})
+		if err != nil {
+			fail(err)
+		}
+		f5rows = rows
+	}
+
+	if *all || *table1 {
+		fmt.Println("== Table 1 ==")
+		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Progress: progress})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable1(rows))
+	}
+	if *all || *figure5 {
+		fmt.Println(bench.FormatFigure5(f5rows))
+	}
+	if *all || *motivating {
+		fmt.Println(bench.FormatMotivating(f5rows))
+	}
+	if *all || *figure6 {
+		fmt.Println("== Figure 6 ==")
+		rows, err := bench.Figure6Timeouts(nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatFigure6(rows))
+	}
+	if *all || *expertCmp {
+		res, err := bench.Expert(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatExpert(res))
+	}
+	if *all || *ablation {
+		fmt.Println("== §5.6 ablation: compiling the suite twice ==")
+		rows, sum, err := bench.Ablation(bench.F5Options{Opts: opts, Only: *only, Progress: progress})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatAblation(rows, sum))
+	}
+	if *all || *costAbl {
+		fmt.Println("== cost-model ablation: compiling the suite twice ==")
+		rows, err := bench.CostModelAblation(bench.F5Options{Opts: opts, Only: *only, Progress: progress})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatCostAblation(rows))
+	}
+	if *all || *theiaCase {
+		res, err := bench.Theia()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTheia(res))
+	}
+	if *all || *validate {
+		fmt.Println("== translation validation (§3.4) ==")
+		start := time.Now()
+		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Validate: true, Progress: progress})
+		if err != nil {
+			fail(err)
+		}
+		ok := 0
+		for _, r := range rows {
+			if r.Validated {
+				ok++
+			}
+		}
+		fmt.Printf("validated %d/%d kernels in %v\n\n", ok, len(rows), time.Since(start).Round(time.Millisecond))
+	}
+}

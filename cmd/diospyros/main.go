@@ -1,0 +1,155 @@
+// Command diospyros compiles a scalar kernel written in the imperative
+// kernel language into vectorized DSP code:
+//
+//	diospyros [flags] kernel.dios
+//
+// By default the generated C-with-intrinsics is written to stdout. Flags
+// expose the compiler's artifacts and the bundled FG3-lite simulator:
+//
+//	diospyros -dump-spec kernel.dios     # the lifted specification
+//	diospyros -dump-egraph kernel.dios   # the saturated e-graph (dot)
+//	diospyros -dump-vir  kernel.dios     # the optimized vector IR
+//	diospyros -dump-asm  kernel.dios     # FG3-lite assembly
+//	diospyros -run -seed 7 kernel.dios   # simulate on random inputs
+//	diospyros -validate kernel.dios      # translation validation
+//	diospyros -no-vector kernel.dios     # §5.6 scalar ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+	"diospyros/internal/rules"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write generated C to this file (default stdout)")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the lifted specification and exit")
+		dumpDot   = flag.Bool("dump-egraph", false, "print the saturated e-graph in Graphviz dot syntax and exit")
+		dumpVIR   = flag.Bool("dump-vir", false, "print the optimized vector IR")
+		dumpAsm   = flag.Bool("dump-asm", false, "print FG3-lite assembly")
+		doRun     = flag.Bool("run", false, "simulate the kernel on random inputs")
+		seed      = flag.Int64("seed", 1, "random seed for -run")
+		validate  = flag.Bool("validate", false, "run translation validation")
+		noVector  = flag.Bool("no-vector", false, "disable vector rewrite rules (scalar ablation)")
+		enableAC  = flag.Bool("ac", false, "enable full associativity/commutativity rules")
+		timeout   = flag.Duration("timeout", 0, "equality saturation timeout (default 180s)")
+		nodeLimit = flag.Int("node-limit", 0, "e-graph node limit (default 10,000,000)")
+		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: diospyros [flags] kernel.dios")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dumpSpec {
+		lifted, err := diospyros.Lift(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expr.Pretty(lifted.Spec))
+		return
+	}
+	if *dumpDot {
+		lifted, err := diospyros.Lift(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		g := egraph.New()
+		g.AddExpr(lifted.Spec)
+		cfg := rules.Config{Width: 4, EnableAC: *enableAC, DisableVector: *noVector}
+		egraph.Run(g, cfg.Rules(), egraph.Limits{
+			MaxIterations: 30, MaxNodes: 100_000, Timeout: *timeout,
+		})
+		fmt.Print(g.ToDot())
+		return
+	}
+
+	opts := diospyros.Options{
+		Timeout:            *timeout,
+		NodeLimit:          *nodeLimit,
+		DisableVectorRules: *noVector,
+		EnableAC:           *enableAC,
+		Validate:           *validate,
+	}
+	res, err := diospyros.CompileSource(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "kernel %s: compiled in %v (%.1f MB allocated)\n",
+			res.Kernel.Name, res.Compile.Round(time.Millisecond), float64(res.AllocBytes)/1e6)
+		fmt.Fprintf(os.Stderr, "  saturation: %d nodes, %d classes, %d iterations, stopped: %s\n",
+			res.Saturation.Nodes, res.Saturation.Classes, res.Saturation.Iterations, res.Saturation.Reason)
+		fmt.Fprintf(os.Stderr, "  extracted cost: %.1f; IR length: %d\n", res.Cost, len(res.VIR.Instrs))
+		if res.Validated {
+			fmt.Fprintln(os.Stderr, "  translation validation: ok")
+		}
+	}
+
+	switch {
+	case *dumpVIR:
+		fmt.Print(res.VIR.String())
+	case *dumpAsm:
+		if res.Program == nil {
+			fatal(fmt.Errorf("no FG3-lite program (unsupported width)"))
+		}
+		fmt.Print(res.Program.Disassemble())
+	case *doRun:
+		r := rand.New(rand.NewSource(*seed))
+		inputs := map[string][]float64{}
+		for _, d := range res.Kernel.Inputs {
+			s := make([]float64, d.Len())
+			for i := range s {
+				s[i] = float64(int(r.Float64()*200-100)) / 10
+			}
+			inputs[d.Name] = s
+		}
+		outputs, sres, err := res.Run(inputs, nil)
+		if err != nil {
+			fatal(err)
+		}
+		var names []string
+		for _, d := range res.Kernel.Inputs {
+			names = append(names, d.Name)
+		}
+		for _, n := range names {
+			fmt.Printf("input  %s = %v\n", n, inputs[n])
+		}
+		names = names[:0]
+		for _, d := range res.Kernel.Outputs {
+			names = append(names, d.Name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("output %s = %v\n", n, outputs[n])
+		}
+		fmt.Printf("simulated: %d cycles, %d instructions\n", sres.Cycles, sres.Instrs)
+	default:
+		if *out == "" {
+			fmt.Print(res.C)
+		} else if err := os.WriteFile(*out, []byte(res.C), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diospyros:", err)
+	os.Exit(1)
+}

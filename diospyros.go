@@ -1,0 +1,243 @@
+// Package diospyros is a search-based vectorizing compiler for small,
+// fixed-size linear-algebra kernels on DSPs — a from-scratch Go
+// reproduction of "Vectorization for Digital Signal Processors via Equality
+// Saturation" (VanHattum et al., ASPLOS 2021).
+//
+// A kernel is written either in the imperative text language (package
+// internal/frontend; see CompileSource) or against the embedded builder API
+// (package internal/kernel). The compiler:
+//
+//  1. lifts the kernel to a mathematical vector DSL by symbolic evaluation;
+//  2. searches for vectorizations by equality saturation over an e-graph,
+//     using rewrite rules for chunking, lane-wise vectorization with zero
+//     padding, and fused multiply–accumulate;
+//  3. extracts the cheapest program under an abstract data-movement cost
+//     model;
+//  4. lowers it through a vector IR (with local value numbering and dead
+//     code elimination) to C-with-intrinsics text and to FG3-lite assembly
+//     that runs on the bundled cycle-level DSP simulator;
+//  5. optionally validates the optimized program against the specification
+//     with an exact equivalence checker over real arithmetic.
+package diospyros
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"diospyros/internal/cost"
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+	"diospyros/internal/extract"
+	"diospyros/internal/frontend"
+	"diospyros/internal/isa"
+	"diospyros/internal/kernel"
+	"diospyros/internal/lower"
+	"diospyros/internal/rules"
+	"diospyros/internal/sim"
+	"diospyros/internal/validate"
+	"diospyros/internal/vir"
+)
+
+// Options configures a compilation. The zero value gives the defaults used
+// throughout the evaluation: width 4, a 3-minute saturation timeout and a
+// 10M-node limit (the paper's §5.2 settings), vector rules enabled, full
+// associativity/commutativity disabled.
+type Options struct {
+	// Width is the target vector width. FG3-lite assembly can only be
+	// produced for Width == isa.Width (4); other widths still compile to
+	// IR and C. 0 means 4.
+	Width int
+	// Timeout bounds equality saturation wall-clock time. 0 means 180 s.
+	// Negative means no timeout.
+	Timeout time.Duration
+	// NodeLimit bounds the e-graph size. 0 means 10,000,000.
+	NodeLimit int
+	// MaxIterations bounds saturation iterations. 0 means 64.
+	MaxIterations int
+	// DisableVectorRules removes all vector-introducing rewrites,
+	// producing scalar (but CSE-optimized) code — the §5.6 ablation.
+	DisableVectorRules bool
+	// EnableAC turns on full associativity/commutativity rules (§3.3).
+	EnableAC bool
+	// UseBackoff schedules rules with egg's backoff policy: rules whose
+	// match count explodes are temporarily banned. Useful with EnableAC.
+	UseBackoff bool
+	// Validate runs translation validation on the extracted program.
+	Validate bool
+	// CostModel overrides the extraction cost model.
+	CostModel cost.Model
+
+	// ExtraRules appends user-defined syntactic rewrite rules to the
+	// search, the paper's §6 extension mechanism. For example, a DSP with
+	// a fast reciprocal is taught with
+	//
+	//	{Name: "div-to-recip", LHS: "(/ ?x ?y)", RHS: "(* ?x (func recip ?y))"}
+	//
+	// the rewrite engine vectorizes `recip` like any lane-wise operation,
+	// and OpCost makes the new instruction attractive to extraction.
+	ExtraRules []RewriteRule
+	// OpCost overrides the cost of individual operators during extraction,
+	// keyed by DSL head symbol ("VecDiv", "/", "sqrt", ...). User-defined
+	// functions are priced per name with "func:NAME" and "VecFunc:NAME".
+	OpCost map[string]float64
+}
+
+// RewriteRule is a user-supplied syntactic rewrite: two patterns in the
+// vector DSL's s-expression syntax with ?variables, applied left to right
+// during equality saturation (soundness is the author's responsibility, as
+// with the paper's user-extensible rules).
+type RewriteRule struct {
+	Name     string
+	LHS, RHS string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = isa.Width
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 180 * time.Second
+	}
+	if o.Timeout < 0 {
+		o.Timeout = 0
+	}
+	if o.NodeLimit == 0 {
+		o.NodeLimit = 10_000_000
+	}
+	return o
+}
+
+// Result is a compiled kernel and its artifacts.
+type Result struct {
+	Kernel    *kernel.Lifted // the lifted specification
+	Optimized *expr.Expr     // extracted DSL program
+	VIR       *vir.Program   // optimized low-level IR
+	Program   *isa.Program   // FG3-lite assembly (nil when Width != isa.Width)
+	C         string         // C-with-intrinsics text
+
+	Saturation egraph.Report // equality-saturation statistics (Table 1)
+	Cost       float64       // abstract cost of the extracted program
+	Compile    time.Duration // end-to-end compile time (Table 1)
+	AllocBytes uint64        // heap allocated during compilation (Table 1 memory proxy)
+	Validated  bool          // set when Options.Validate passed
+}
+
+// Lift lifts a kernel written in the imperative text language.
+func Lift(src string) (*kernel.Lifted, error) {
+	k, err := frontend.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return frontend.Lift(k)
+}
+
+// CompileSource compiles a kernel written in the imperative text language.
+func CompileSource(src string, opts Options) (*Result, error) {
+	l, err := Lift(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(l, opts)
+}
+
+// Compile runs the full Diospyros pipeline on a lifted kernel.
+func Compile(l *kernel.Lifted, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	// Equality saturation (§3.2–3.3).
+	cfg := rules.Config{
+		Width:         opts.Width,
+		EnableAC:      opts.EnableAC,
+		DisableVector: opts.DisableVectorRules,
+	}
+	ruleSet := cfg.Rules()
+	for _, r := range opts.ExtraRules {
+		rw, err := egraph.ParseRewrite(r.Name, r.LHS, r.RHS)
+		if err != nil {
+			return nil, fmt.Errorf("diospyros: %w", err)
+		}
+		ruleSet = append(ruleSet, rw)
+	}
+	g := egraph.New()
+	root := g.AddExpr(l.Spec)
+	limits := egraph.Limits{
+		MaxNodes:      opts.NodeLimit,
+		MaxIterations: opts.MaxIterations,
+		Timeout:       opts.Timeout,
+	}
+	if opts.UseBackoff {
+		limits.Backoff = &egraph.Backoff{}
+	}
+	rep := egraph.Run(g, ruleSet, limits)
+
+	// Extraction (§3.4).
+	model := opts.CostModel
+	if model == nil {
+		if opts.DisableVectorRules {
+			model = cost.ScalarOnly{}
+		} else {
+			model = cost.Diospyros{Width: opts.Width}
+		}
+	}
+	if len(opts.OpCost) > 0 {
+		model = cost.Overrides{Base: model, PerOp: opts.OpCost}
+	}
+	ex := extract.New(g, model)
+	optimized, err := ex.Expr(root)
+	if err != nil {
+		return nil, fmt.Errorf("diospyros: extraction failed: %w", err)
+	}
+
+	// Lowering and backend optimization (§4).
+	raw, err := lower.Lower(l.Name, optimized, opts.Width, l)
+	if err != nil {
+		return nil, fmt.Errorf("diospyros: lowering failed: %w", err)
+	}
+	// Backend cleanup, then live-range splitting only when the kernel's
+	// register pressure exceeds a realistic file (56 of 64 registers,
+	// leaving headroom for the code generator's temporaries).
+	ir := vir.BoundPressure(vir.Optimize(raw), 56)
+
+	res := &Result{
+		Kernel:     l,
+		Optimized:  optimized,
+		VIR:        ir,
+		C:          "",
+		Saturation: rep,
+		Cost:       ex.Cost(root),
+	}
+	res.C = codegenC(ir)
+	if opts.Width == isa.Width {
+		p, err := codegenISA(ir)
+		if err != nil {
+			return nil, fmt.Errorf("diospyros: code generation failed: %w", err)
+		}
+		res.Program = p
+	}
+
+	// Translation validation (§3.4).
+	if opts.Validate {
+		if err := validate.Check(l, optimized); err != nil {
+			return nil, fmt.Errorf("diospyros: translation validation failed: %w", err)
+		}
+		res.Validated = true
+	}
+
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	res.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
+	res.Compile = time.Since(start)
+	return res, nil
+}
+
+// Run executes the compiled kernel on the FG3-lite simulator.
+func (r *Result) Run(inputs map[string][]float64, funcs map[string]func([]float64) float64) (map[string][]float64, *sim.Result, error) {
+	if r.Program == nil {
+		return nil, nil, fmt.Errorf("diospyros: no FG3-lite program (width %d != %d)", r.VIR.Width, isa.Width)
+	}
+	return codegenExecute(r.Program, inputs, r.Kernel.Inputs, r.Kernel.Outputs, funcs)
+}

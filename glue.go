@@ -1,0 +1,21 @@
+package diospyros
+
+import (
+	"diospyros/internal/codegen"
+	"diospyros/internal/isa"
+	"diospyros/internal/kernel"
+	"diospyros/internal/sim"
+	"diospyros/internal/vir"
+)
+
+// Thin indirections keeping diospyros.go free of backend imports.
+
+func codegenC(ir *vir.Program) string { return codegen.ToC(ir) }
+
+func codegenISA(ir *vir.Program) (*isa.Program, error) { return codegen.ToISA(ir) }
+
+func codegenExecute(p *isa.Program, inputs map[string][]float64,
+	in, out []kernel.ArrayDecl,
+	funcs map[string]func([]float64) float64) (map[string][]float64, *sim.Result, error) {
+	return codegen.Execute(p, inputs, in, out, funcs)
+}

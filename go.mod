@@ -1,0 +1,3 @@
+module diospyros
+
+go 1.22

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	diospyros "diospyros"
+)
+
+func quickOpts() diospyros.Options {
+	return diospyros.Options{Timeout: 30 * time.Second, NodeLimit: 500_000}
+}
+
+func TestSuiteHas21Kernels(t *testing.T) {
+	s := Suite()
+	if len(s) != 21 {
+		t.Fatalf("suite has %d kernels, want 21 (Table 1)", len(s))
+	}
+	fams := map[string]int{}
+	for _, k := range s {
+		fams[k.Family]++
+		if k.RefLOC <= 0 {
+			t.Errorf("%s: missing reference LOC", k.ID)
+		}
+	}
+	want := map[string]int{"2DConv": 11, "MatMul": 7, "QProd": 1, "QRDecomp": 2}
+	for f, n := range want {
+		if fams[f] != n {
+			t.Errorf("family %s has %d kernels, want %d", f, fams[f], n)
+		}
+	}
+}
+
+// TestFigure5SmallKernels runs the full five-system comparison on the small
+// kernels and asserts the paper's qualitative claims.
+func TestFigure5SmallKernels(t *testing.T) {
+	rows, err := Figure5(F5Options{Opts: quickOpts(), Only: "3x3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Cycles.Naive <= r.Cycles.NaiveFixed {
+			t.Errorf("%s: fixed-size (%d) not faster than naive (%d)",
+				r.Kernel.ID, r.Cycles.NaiveFixed, r.Cycles.Naive)
+		}
+		// Diospyros beats the naive loop nest on every kernel.
+		if r.Cycles.Diospyros >= r.Cycles.Naive {
+			t.Errorf("%s: diospyros (%d) not faster than naive (%d)",
+				r.Kernel.ID, r.Cycles.Diospyros, r.Cycles.Naive)
+		}
+		// Eigen (portable scalar) is never the winner, as in Figure 5.
+		if r.Cycles.Eigen > 0 && r.Cycles.Eigen < r.Cycles.Diospyros {
+			t.Errorf("%s: eigen (%d) beat diospyros (%d)",
+				r.Kernel.ID, r.Cycles.Eigen, r.Cycles.Diospyros)
+		}
+	}
+}
+
+func TestFigure5MatMulFamilyShapes(t *testing.T) {
+	rows, err := Figure5(F5Options{Opts: quickOpts(), Only: "MatMul"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d MatMul rows", len(rows))
+	}
+	// The paper reports 2.7x–19.3x over fixed-size naive for MatMul;
+	// require every size to land above 2x.
+	for _, r := range rows {
+		if sp := r.Speedup(r.Cycles.Diospyros); sp < 2 {
+			t.Errorf("%s: speedup %.2fx below 2x", r.Kernel.ID, sp)
+		}
+	}
+	// Nature (size-generic vectorized) overtakes fixed-size naive at the
+	// largest size but loses at the smallest (control overhead, §5.4).
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Cycles.Nature <= first.Cycles.NaiveFixed {
+		t.Errorf("2x2: Nature (%d) should lose to fixed-size (%d) on tiny kernels",
+			first.Cycles.Nature, first.Cycles.NaiveFixed)
+	}
+	if last.Cycles.Nature >= last.Cycles.NaiveFixed {
+		t.Errorf("16x16: Nature (%d) should beat fixed-size (%d) on large kernels",
+			last.Cycles.Nature, last.Cycles.NaiveFixed)
+	}
+}
+
+func TestGeomeanHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run")
+	}
+	rows, err := Figure5(F5Options{Opts: quickOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GeomeanVsBestBaseline(rows)
+	// Paper: 3.1x. Accept the same ballpark.
+	if g < 2.0 || g > 6.0 {
+		t.Fatalf("geomean speedup %.2fx outside plausible band [2, 6]", g)
+	}
+	t.Logf("geomean speedup over best baseline: %.2fx (paper: 3.1x)", g)
+}
+
+func TestTable1SmallKernels(t *testing.T) {
+	rows, err := Table1(T1Options{Opts: quickOpts(), Only: "2x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Time <= 0 || r.Nodes == 0 {
+			t.Errorf("%s: missing stats %+v", r.Kernel.ID, r)
+		}
+	}
+	out := FormatTable1(rows)
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFigure6IterationSweepImproves(t *testing.T) {
+	rows, err := Figure6Iterations([]int{1, 3, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows: 1 iter, 3 iters, 30 iters, Nature.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	budget1, budget3, budget30 := rows[0], rows[1], rows[2]
+	if !(budget1.Cycles >= budget3.Cycles && budget3.Cycles >= budget30.Cycles) {
+		t.Fatalf("quality does not improve with budget: %d, %d, %d",
+			budget1.Cycles, budget3.Cycles, budget30.Cycles)
+	}
+	if budget1.Cycles == budget30.Cycles {
+		t.Fatalf("budget has no effect (1 iter: %d, 30 iters: %d)", budget1.Cycles, budget30.Cycles)
+	}
+	if !budget30.Saturated {
+		t.Error("30 iterations should saturate 10x10 MatMul")
+	}
+	// The saturated kernel beats the Nature library (Figure 6's endpoint).
+	nature := rows[3]
+	if budget30.Cycles >= nature.Cycles {
+		t.Errorf("saturated Diospyros (%d) should beat Nature (%d)", budget30.Cycles, nature.Cycles)
+	}
+	if s := FormatFigure6(rows); len(s) == 0 {
+		t.Error("empty figure")
+	}
+}
+
+func TestExpertComparison(t *testing.T) {
+	res, err := Expert(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: within 8% of expert. Allow ±25% in either direction.
+	if res.GapPercent > 25 || res.GapPercent < -25 {
+		t.Fatalf("gap %.1f%% outside ±25%% (dios %d vs expert %d)",
+			res.GapPercent, res.DiospyrosCycles, res.ExpertCycles)
+	}
+	if res.DiospyrosCycles <= 0 || res.ExpertCycles <= 0 {
+		t.Fatal("missing cycles")
+	}
+	if s := FormatExpert(res); len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestAblationQProd(t *testing.T) {
+	rows, _, err := Ablation(F5Options{Opts: quickOpts(), Only: "QProd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.ScalarOnly <= 0 || r.Vectorized <= 0 {
+		t.Fatalf("missing cycles: %+v", r)
+	}
+	// The scalar ablation must still beat the naive baseline (CSE effect).
+	if r.ScalarOnly >= r.BestBaseline*3 {
+		t.Errorf("scalar ablation (%d) far worse than baseline (%d)", r.ScalarOnly, r.BestBaseline)
+	}
+}
+
+func TestTheiaCaseStudy(t *testing.T) {
+	res, err := Theia()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1.0 {
+		t.Fatalf("no end-to-end speedup: %.2fx", res.Speedup)
+	}
+	if res.QRShare <= 0.2 {
+		t.Errorf("QR share %.0f%% suspiciously small", 100*res.QRShare)
+	}
+	if s := FormatTheia(res); len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestMotivatingNumbers(t *testing.T) {
+	rows, err := Figure5(F5Options{Opts: quickOpts(), Only: "2DConv 3x5 3x3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	// §2's qualitative chain: naive < fixed < library < diospyros.
+	if !(r.Cycles.Diospyros < r.Cycles.Nature &&
+		r.Cycles.Nature < r.Cycles.Naive &&
+		r.Cycles.NaiveFixed < r.Cycles.Naive) {
+		t.Fatalf("motivating-example ordering broken: %+v", r.Cycles)
+	}
+	if s := FormatMotivating(rows); len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCostModelAblation(t *testing.T) {
+	rows, err := CostModelAblation(F5Options{Opts: quickOpts(), Only: "MatMul 2x3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	// The movement-aware model must never produce a slower kernel than the
+	// uniform ablation on this kernel (it distinguishes single-array
+	// shuffles from cross-array gathers).
+	if r.Aware > r.Uniform {
+		t.Fatalf("aware model (%d) worse than uniform (%d)", r.Aware, r.Uniform)
+	}
+	if s := FormatCostAblation(rows); len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	diospyros "diospyros"
+	"diospyros/internal/expr"
+	"diospyros/internal/frontend"
+	"diospyros/internal/kcc"
+	"diospyros/internal/sim"
+)
+
+// Cycles holds simulated cycle counts per system for one kernel.
+// Zero means "not available" (the paper's missing bars).
+type Cycles struct {
+	Naive      int64
+	NaiveFixed int64
+	Diospyros  int64
+	Nature     int64
+	Eigen      int64
+}
+
+// F5Row is one kernel's Figure 5 data point.
+type F5Row struct {
+	Kernel Kernel
+	Cycles Cycles
+}
+
+// Speedup returns `sys` cycles as a speedup over the fixed-size naive
+// baseline (the paper's normalization), or 0 when unavailable.
+func (r F5Row) Speedup(c int64) float64 {
+	if c == 0 || r.Cycles.NaiveFixed == 0 {
+		return 0
+	}
+	return float64(r.Cycles.NaiveFixed) / float64(c)
+}
+
+// BestBaseline is the fastest non-Diospyros implementation.
+func (r F5Row) BestBaseline() int64 {
+	best := int64(0)
+	for _, c := range []int64{r.Cycles.Naive, r.Cycles.NaiveFixed, r.Cycles.Nature, r.Cycles.Eigen} {
+		if c > 0 && (best == 0 || c < best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// F5Options parameterizes the Figure 5 run.
+type F5Options struct {
+	// Opts are the Diospyros compiler options (defaults match the paper's
+	// §5.2 settings).
+	Opts diospyros.Options
+	// Seed for the shared random inputs.
+	Seed int64
+	// Only restricts the run to kernels whose ID contains the string.
+	Only string
+	// Verbose receives progress lines (may be nil).
+	Progress func(string)
+}
+
+// Figure5 compiles and simulates every suite kernel under all systems,
+// cross-checking every system's outputs against the lifted specification.
+func Figure5(opt F5Options) ([]F5Row, error) {
+	var rows []F5Row
+	for _, k := range Suite() {
+		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
+			continue
+		}
+		row, err := runKernelAllSystems(k, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.ID, err)
+		}
+		rows = append(rows, row)
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("%-20s naive=%-7d fixed=%-7d dios=%-7d nature=%-7d eigen=%-7d",
+				k.ID, row.Cycles.Naive, row.Cycles.NaiveFixed, row.Cycles.Diospyros,
+				row.Cycles.Nature, row.Cycles.Eigen))
+		}
+	}
+	return rows, nil
+}
+
+// GeomeanVsBestBaseline computes the paper's headline number: the geometric
+// mean of Diospyros's speedup over the best non-Diospyros baseline.
+func GeomeanVsBestBaseline(rows []F5Row) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		best := r.BestBaseline()
+		if best == 0 || r.Cycles.Diospyros == 0 {
+			continue
+		}
+		logSum += math.Log(float64(best) / float64(r.Cycles.Diospyros))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+func runKernelAllSystems(k Kernel, opt F5Options) (F5Row, error) {
+	r := rand.New(rand.NewSource(opt.Seed + 7))
+	inputs := k.Inputs(r)
+	lifted := k.Lift()
+
+	// Reference outputs from the lifted spec.
+	env := expr.NewEnv()
+	for name, data := range inputs {
+		env.Arrays[name] = data
+	}
+	specVal, err := lifted.Spec.Eval(env)
+	if err != nil {
+		return F5Row{}, fmt.Errorf("spec eval: %w", err)
+	}
+	want := map[string][]float64{}
+	flat := specVal.AsSlice()
+	idx := 0
+	for _, d := range lifted.Outputs {
+		want[d.Name] = flat[idx : idx+d.Len()]
+		idx += d.Len()
+	}
+	check := func(system string, got map[string][]float64) error {
+		for name, w := range want {
+			g, ok := got[name]
+			if !ok {
+				return fmt.Errorf("%s: missing output %q", system, name)
+			}
+			for i := range w {
+				if math.Abs(g[i]-w[i]) > 1e-4*math.Max(1, math.Abs(w[i])) {
+					return fmt.Errorf("%s: output %s[%d] = %g, want %g", system, name, i, g[i], w[i])
+				}
+			}
+		}
+		return nil
+	}
+
+	row := F5Row{Kernel: k}
+
+	// Naive and fixed-size baselines via kcc.
+	ast, err := frontend.Parse(k.NaiveSrc)
+	if err != nil {
+		return F5Row{}, fmt.Errorf("naive source: %w", err)
+	}
+	for _, mode := range []kcc.Mode{kcc.Parametric, kcc.FixedSize} {
+		out, cycles, err := runKCC(ast, mode, inputs)
+		if err != nil {
+			return F5Row{}, fmt.Errorf("kcc %s: %w", mode, err)
+		}
+		if err := check("naive-"+mode.String(), out); err != nil {
+			return F5Row{}, err
+		}
+		if mode == kcc.Parametric {
+			row.Cycles.Naive = cycles
+		} else {
+			row.Cycles.NaiveFixed = cycles
+		}
+	}
+
+	// Diospyros.
+	res, err := diospyros.Compile(lifted, opt.Opts)
+	if err != nil {
+		return F5Row{}, fmt.Errorf("diospyros: %w", err)
+	}
+	dout, dres, err := res.Run(inputs, nil)
+	if err != nil {
+		return F5Row{}, fmt.Errorf("diospyros run: %w", err)
+	}
+	if err := check("diospyros", dout); err != nil {
+		return F5Row{}, err
+	}
+	row.Cycles.Diospyros = dres.Cycles
+
+	// Nature, when the vendor library provides the kernel.
+	if k.NatureRun != nil {
+		nout, ncycles, err := k.NatureRun(inputs)
+		if err != nil {
+			return F5Row{}, fmt.Errorf("nature: %w", err)
+		}
+		// Library buffers are padded; compare only the declared prefix.
+		trimmed := map[string][]float64{}
+		for _, d := range lifted.Outputs {
+			if full, ok := nout[d.Name]; ok {
+				trimmed[d.Name] = full[:d.Len()]
+			}
+		}
+		if err := check("nature", trimmed); err != nil {
+			return F5Row{}, err
+		}
+		row.Cycles.Nature = ncycles
+	}
+
+	// Eigen-like library.
+	if k.EigenSrc != "" {
+		east, err := frontend.Parse(k.EigenSrc)
+		if err != nil {
+			return F5Row{}, fmt.Errorf("eigen source: %w", err)
+		}
+		out, cycles, err := runKCC(east, kcc.Parametric, inputs)
+		if err != nil {
+			return F5Row{}, fmt.Errorf("eigen: %w", err)
+		}
+		if err := check("eigen", out); err != nil {
+			return F5Row{}, err
+		}
+		row.Cycles.Eigen = cycles
+	}
+
+	return row, nil
+}
+
+// runKCC compiles a frontend kernel and simulates it.
+func runKCC(k *frontend.Kernel, mode kcc.Mode, inputs map[string][]float64) (map[string][]float64, int64, error) {
+	p, err := kcc.Compile(k, mode)
+	if err != nil {
+		return nil, 0, err
+	}
+	mem := make([]float64, p.Layout.Size())
+	for _, prm := range k.Params {
+		data, ok := inputs[prm.Name]
+		if !ok {
+			return nil, 0, fmt.Errorf("missing input %q", prm.Name)
+		}
+		copy(mem[p.Layout.Base(prm.Name):], data)
+	}
+	res, err := sim.Run(p, mem, sim.Defaults())
+	if err != nil {
+		return nil, 0, err
+	}
+	out := map[string][]float64{}
+	for _, prm := range k.Outs {
+		b := p.Layout.Base(prm.Name)
+		out[prm.Name] = append([]float64(nil), res.Mem[b:b+prm.Len()]...)
+	}
+	return out, res.Cycles, nil
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/kernels"
+)
+
+// F6Row is one data point of the Figure 6 timeout-ablation: the quality of
+// the 10×10·10×10 MatMul kernel as a function of the saturation budget.
+type F6Row struct {
+	Label     string
+	Cycles    int64
+	Saturated bool
+}
+
+// Figure6Timeouts reproduces the paper's Figure 6 with wall-clock timeouts.
+// The paper sweeps {10, 30, 60, 120, 180} seconds against its engine; this
+// engine saturates the kernel far faster, so the sweep is over
+// proportionally smaller budgets (the shape — quality improving with
+// budget until saturation — is the reproduced result). A Nature reference
+// row is appended, as in the figure.
+func Figure6Timeouts(timeouts []time.Duration) ([]F6Row, error) {
+	if len(timeouts) == 0 {
+		timeouts = []time.Duration{
+			500 * time.Microsecond, 2 * time.Millisecond, 10 * time.Millisecond,
+			50 * time.Millisecond, 250 * time.Millisecond, 2 * time.Second,
+		}
+	}
+	var rows []F6Row
+	for _, to := range timeouts {
+		cycles, saturated, err := compileMatMul10(diospyros.Options{Timeout: to})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, F6Row{Label: to.String(), Cycles: cycles, Saturated: saturated})
+	}
+	natRow, err := figure6Nature()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, natRow), nil
+}
+
+// Figure6Iterations is the deterministic variant of the sweep: the budget
+// is the number of equality-saturation iterations, which (unlike wall
+// clock) is machine-independent. Used by the regression tests.
+func Figure6Iterations(iters []int) ([]F6Row, error) {
+	if len(iters) == 0 {
+		iters = []int{1, 2, 3, 4, 6, 8, 12, 20}
+	}
+	var rows []F6Row
+	for _, it := range iters {
+		cycles, saturated, err := compileMatMul10(diospyros.Options{MaxIterations: it})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, F6Row{Label: fmt.Sprintf("%d iters", it), Cycles: cycles, Saturated: saturated})
+	}
+	natRow, err := figure6Nature()
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, natRow), nil
+}
+
+func compileMatMul10(opts diospyros.Options) (int64, bool, error) {
+	l := kernels.MatMul(10, 10, 10)
+	res, err := diospyros.Compile(l, opts)
+	if err != nil {
+		return 0, false, err
+	}
+	r := rand.New(rand.NewSource(11))
+	inputs := map[string][]float64{
+		"a": randSlice(r, 100),
+		"b": randSlice(r, 100),
+	}
+	_, sres, err := res.Run(inputs, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	return sres.Cycles, res.Saturation.Saturated(), nil
+}
+
+func figure6Nature() (F6Row, error) {
+	r := rand.New(rand.NewSource(11))
+	inputs := map[string][]float64{
+		"a": randSlice(r, 100),
+		"b": randSlice(r, 100),
+	}
+	for _, k := range Suite() {
+		if k.ID == "MatMul 10x10 10x10" {
+			_, cycles, err := k.NatureRun(inputs)
+			if err != nil {
+				return F6Row{}, err
+			}
+			return F6Row{Label: "Nature", Cycles: cycles, Saturated: true}, nil
+		}
+	}
+	return F6Row{}, fmt.Errorf("bench: MatMul 10x10 kernel missing from suite")
+}
+
+// FormatFigure6 renders the sweep as the paper's Figure 6 (a horizontal
+// bar per budget).
+func FormatFigure6(rows []F6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: effect of search budget on 10×10·10×10 MatMul performance\n")
+	max := int64(1)
+	for _, r := range rows {
+		if r.Cycles > max {
+			max = r.Cycles
+		}
+	}
+	for _, r := range rows {
+		bar := int(r.Cycles * 50 / max)
+		sat := ""
+		if r.Saturated && r.Label != "Nature" {
+			sat = " (saturated)"
+		}
+		fmt.Fprintf(&b, "%12s | %-50s %6d cycles%s\n", r.Label, strings.Repeat("#", bar), r.Cycles, sat)
+	}
+	return b.String()
+}

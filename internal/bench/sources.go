@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+
+	"diospyros/internal/eigenlite"
+)
+
+// Naive reference sources — straightforward loop nests, exactly what the
+// paper's Naive / Naive-(fixed-size) baselines compile with xt-xcc. The
+// naive forms accumulate through memory; the Eigen-library forms (from
+// package eigenlite) accumulate in a register temporary.
+
+func naiveMatMulSrc(m, n, p int) string {
+	return fmt.Sprintf(`
+kernel matmul(a[%d][%d], b[%d][%d]) -> (c[%d][%d]) {
+    for i in 0..%d {
+        for j in 0..%d {
+            c[i][j] = 0.0;
+            for k in 0..%d {
+                c[i][j] = c[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+}
+`, m, n, n, p, m, p, m, p, n)
+}
+
+func naiveConvSrc(ir, ic, fr, fc int) string {
+	or, oc := ir+fr-1, ic+fc-1
+	return fmt.Sprintf(`
+kernel conv2d(i[%d][%d], f[%d][%d]) -> (o[%d][%d]) {
+    for oRow in 0..%d {
+        for oCol in 0..%d {
+            for fRow in 0..%d {
+                for fCol in 0..%d {
+                    let fRT = %d - 1 - fRow;
+                    let fCT = %d - 1 - fCol;
+                    let iRow = oRow - fRT;
+                    let iCol = oCol - fCT;
+                    if iRow >= 0 && iRow < %d && iCol >= 0 && iCol < %d {
+                        o[oRow][oCol] = o[oRow][oCol] + i[iRow][iCol] * f[fRT][fCT];
+                    }
+                }
+            }
+        }
+    }
+}
+`, ir, ic, fr, fc, or, oc, or, oc, fr, fc, fr, fc, ir, ic)
+}
+
+const naiveQProdSrc = eigenlite.QProdSrc
+
+// naiveQRSrc is the plain Householder QR (no stable-norm passes; compare
+// eigenlite.QRSrc, which models Eigen's numerics).
+func naiveQRSrc(n int) string {
+	return fmt.Sprintf(`
+kernel qrdecomp(a[%d][%d]) -> (q[%d][%d], r[%d][%d]) {
+    for i in 0..%d {
+        for j in 0..%d {
+            r[i][j] = a[i][j];
+            if i == j {
+                q[i][j] = 1.0;
+            } else {
+                q[i][j] = 0.0;
+            }
+        }
+    }
+    var v[%d];
+    for k in 0..%d {
+        let norm2 = 0.0;
+        for i in k..%d {
+            norm2 = norm2 + r[i][k] * r[i][k];
+        }
+        let alpha = 0.0 - sgn(r[k][k]) * sqrt(norm2);
+        for i in 0..%d {
+            if i < k {
+                v[i] = 0.0;
+            } else if i == k {
+                v[i] = r[k][k] - alpha;
+            } else {
+                v[i] = r[i][k];
+            }
+        }
+        let vnorm2 = 0.0;
+        for i in k..%d {
+            vnorm2 = vnorm2 + v[i] * v[i];
+        }
+        let beta = 2.0 / vnorm2;
+        for j in 0..%d {
+            let dot = 0.0;
+            for i in k..%d {
+                dot = dot + v[i] * r[i][j];
+            }
+            let s = beta * dot;
+            for i in k..%d {
+                r[i][j] = r[i][j] - v[i] * s;
+            }
+        }
+        for i in 0..%d {
+            let dot = 0.0;
+            for j in k..%d {
+                dot = dot + q[i][j] * v[j];
+            }
+            let s = beta * dot;
+            for j in k..%d {
+                q[i][j] = q[i][j] - v[j] * s;
+            }
+        }
+    }
+}
+`, n, n, n, n, n, n, n, n, n, n-1, n, n, n, n, n, n, n, n, n)
+}
+
+func eigenMatMulSrc(m, n, p int) string { return eigenlite.MatMulSrc(m, n, p) }
+
+func eigenConvSrc(ir, ic, fr, fc int) string { return eigenlite.Conv2DSrc(ir, ic, fr, fc) }
+
+func eigenQRSrc(n int) string { return eigenlite.QRSrc(n) }

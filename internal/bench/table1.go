@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/egraph"
+)
+
+// T1Row is one line of Table 1: per-kernel compilation statistics.
+type T1Row struct {
+	Kernel     Kernel
+	Time       time.Duration
+	AllocBytes uint64
+	Nodes      int
+	Classes    int
+	Iterations int
+	Reason     egraph.StopReason
+	TimedOut   bool
+	Validated  bool
+}
+
+// T1Options parameterizes the Table 1 run.
+type T1Options struct {
+	Opts     diospyros.Options
+	Only     string
+	Validate bool
+	Progress func(string)
+}
+
+// Table1 compiles every suite kernel, reporting compile time and memory
+// (the paper's Table 1 columns) plus e-graph statistics.
+func Table1(opt T1Options) ([]T1Row, error) {
+	opts := opt.Opts
+	opts.Validate = opt.Validate
+	var rows []T1Row
+	for _, k := range Suite() {
+		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
+			continue
+		}
+		res, err := diospyros.Compile(k.Lift(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.ID, err)
+		}
+		row := T1Row{
+			Kernel:     k,
+			Time:       res.Compile,
+			AllocBytes: res.AllocBytes,
+			Nodes:      res.Saturation.Nodes,
+			Classes:    res.Saturation.Classes,
+			Iterations: res.Saturation.Iterations,
+			Reason:     res.Saturation.Reason,
+			TimedOut:   !res.Saturation.Saturated(),
+			Validated:  res.Validated,
+		}
+		rows = append(rows, row)
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("%-20s %10v %8.1f MB  %7d nodes  %s",
+				k.ID, row.Time.Round(time.Millisecond),
+				float64(row.AllocBytes)/1e6, row.Nodes, row.Reason))
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows as the paper's Table 1.
+func FormatTable1(rows []T1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: benchmark kernels — compilation time and memory\n")
+	fmt.Fprintf(&b, "%-22s %-12s %6s %12s %12s %9s %6s %s\n",
+		"Benchmark", "Size", "LOC", "Time", "Memory", "E-nodes", "Iters", "Stop")
+	for _, r := range rows {
+		timeout := ""
+		if r.TimedOut {
+			timeout = " †"
+		}
+		fmt.Fprintf(&b, "%-22s %-12s %6d %12v %9.1f MB %9d %6d %s%s\n",
+			r.Kernel.Family, r.Kernel.Size, r.Kernel.RefLOC,
+			r.Time.Round(time.Millisecond),
+			float64(r.AllocBytes)/1e6, r.Nodes, r.Iterations, r.Reason, timeout)
+	}
+	b.WriteString("† equality saturation stopped before reaching a fixpoint\n")
+	return b.String()
+}

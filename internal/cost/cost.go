@@ -1,0 +1,233 @@
+// Package cost defines the abstract cost model used to extract an efficient
+// program from the saturated e-graph (paper §3.4).
+//
+// The model must be strictly monotonic — every node contributes positive
+// cost on top of the sum of its children — which keeps extraction linear in
+// the number of e-nodes. Data movement is priced abstractly: a Vec whose
+// lanes gather from a single input array (or zeros) is cheaper than one that
+// gathers across arrays, which in turn is cheaper than one that needs
+// scalar computation inserted into lanes. This mirrors the Fusion G3's
+// fast single-register shuffle vs. two-register select vs. scalar insert.
+package cost
+
+import (
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+)
+
+// ChildInfo describes the currently chosen best implementation of a child
+// e-class during extraction, letting the model classify data movement.
+type ChildInfo struct {
+	Cost float64
+	Node egraph.ENode
+}
+
+// Model prices a single e-node given its children's chosen implementations.
+// The returned value is the node's own cost, excluding children (which the
+// extractor sums separately); it must be strictly positive.
+type Model interface {
+	NodeCost(n egraph.ENode, children []ChildInfo) float64
+}
+
+// MovementClass classifies how a Vec literal's lanes can be materialized.
+type MovementClass int
+
+const (
+	// MoveLiteral: every lane is a literal constant (one constant vector).
+	MoveLiteral MovementClass = iota
+	// MoveContiguous: lanes are consecutive elements of one array.
+	MoveContiguous
+	// MoveSingleArray: lanes gather arbitrarily from one array (or zeros);
+	// one shuffle after loading.
+	MoveSingleArray
+	// MoveTwoArrays: lanes gather from two arrays/windows; one select.
+	MoveTwoArrays
+	// MoveManyArrays: lanes gather from three or more arrays; nested selects.
+	MoveManyArrays
+	// MoveScalarLanes: at least one lane requires scalar computation
+	// inserted into the vector.
+	MoveScalarLanes
+)
+
+// ClassifyVec determines the movement class of a Vec node from its chosen
+// child nodes, plus the number of scalar-computed lanes.
+func ClassifyVec(children []ChildInfo) (MovementClass, int) {
+	arrays := map[string]bool{}
+	scalarLanes := 0
+	allLit := true
+	contiguous := true
+	var firstArr string
+	firstIdx, haveFirst := 0, false
+	for i, c := range children {
+		switch c.Node.Op {
+		case expr.OpLit:
+			contiguous = false
+		case expr.OpGet:
+			allLit = false
+			arrays[c.Node.Sym] = true
+			if !haveFirst {
+				firstArr, firstIdx, haveFirst = c.Node.Sym, c.Node.Idx, true
+				if i != 0 {
+					contiguous = false
+				}
+			} else if c.Node.Sym != firstArr || c.Node.Idx != firstIdx+i {
+				contiguous = false
+			}
+		default:
+			allLit = false
+			contiguous = false
+			scalarLanes++
+		}
+	}
+	switch {
+	case scalarLanes > 0:
+		return MoveScalarLanes, scalarLanes
+	case allLit:
+		return MoveLiteral, 0
+	case contiguous && len(arrays) == 1 && haveFirst && firstIdx%len(children) == 0:
+		return MoveContiguous, 0
+	case len(arrays) <= 1:
+		return MoveSingleArray, 0
+	case len(arrays) == 2:
+		return MoveTwoArrays, 0
+	default:
+		return MoveManyArrays, 0
+	}
+}
+
+// Diospyros is the default cost model, with weights chosen so that a fully
+// vectorized kernel with cheap shuffles beats its scalar form, while heavy
+// cross-array gathers or scalar-insert lanes can lose to scalar code.
+type Diospyros struct {
+	// Width is the vector width (lanes per Vec); informational.
+	Width int
+}
+
+// Default weights. Scalar arithmetic costs 1 per operation; vector
+// arithmetic costs 1 for Width lanes of work, which is the vectorization
+// incentive. Vec construction is priced by movement class.
+const (
+	LeafCost        = 0.01
+	ScalarOpCost    = 1.0
+	VectorOpCost    = 1.0
+	ListCost        = 0.1
+	ConcatCost      = 0.1
+	VecLiteralCost  = 0.5
+	VecContigCost   = 0.6
+	VecShuffleCost  = 1.6
+	VecSelectCost   = 2.6
+	VecManyCost     = 4.6
+	VecScalarLane   = 3.0 // per scalar-computed lane, on top of VecManyCost
+	UninterpPenalty = 2.0
+	// ScalarLoadCost is charged to a scalar operation per Get operand: a
+	// scalar op must load its own elements one by one, whereas the lanes
+	// of a Vec are covered by that Vec's movement-class cost.
+	ScalarLoadCost = 0.5
+)
+
+var _ Model = Diospyros{}
+
+// NodeCost implements Model.
+func (d Diospyros) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
+	switch n.Op {
+	case expr.OpLit, expr.OpSym, expr.OpGet:
+		return LeafCost
+	case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpNeg, expr.OpSgn:
+		return ScalarOpCost + loadCharge(children)
+	case expr.OpDiv, expr.OpSqrt:
+		return ScalarOpCost*2 + loadCharge(children) // long-latency scalar ops
+	case expr.OpFunc:
+		return ScalarOpCost*UninterpPenalty + loadCharge(children)
+	case expr.OpList:
+		return ListCost
+	case expr.OpConcat:
+		return ConcatCost
+	case expr.OpVec:
+		mc, scalarLanes := ClassifyVec(children)
+		switch mc {
+		case MoveLiteral:
+			return VecLiteralCost
+		case MoveContiguous:
+			return VecContigCost
+		case MoveSingleArray:
+			return VecShuffleCost
+		case MoveTwoArrays:
+			return VecSelectCost
+		case MoveManyArrays:
+			return VecManyCost
+		default:
+			return VecManyCost + VecScalarLane*float64(scalarLanes)
+		}
+	case expr.OpVecAdd, expr.OpVecMinus, expr.OpVecMul, expr.OpVecMAC,
+		expr.OpVecNeg, expr.OpVecSgn:
+		return VectorOpCost
+	case expr.OpVecDiv, expr.OpVecSqrt:
+		return VectorOpCost * 2
+	case expr.OpVecFunc:
+		return VectorOpCost * UninterpPenalty
+	}
+	return ScalarOpCost
+}
+
+// loadCharge prices the scalar loads implied by Get operands of a scalar
+// operation.
+func loadCharge(children []ChildInfo) float64 {
+	c := 0.0
+	for _, ch := range children {
+		if ch.Node.Op == expr.OpGet {
+			c += ScalarLoadCost
+		}
+	}
+	return c
+}
+
+// Overrides wraps a base model with per-operator cost replacements, keyed
+// by the DSL operator head symbol ("VecDiv", "/", "sqrt", ...). Calls to
+// user-defined functions can be priced per function with "func:NAME" and
+// "VecFunc:NAME" keys — the hook a designer uses to tell the extraction
+// engine that a target-specific instruction (e.g. a fast reciprocal, §6)
+// is cheap.
+type Overrides struct {
+	Base  Model
+	PerOp map[string]float64
+}
+
+var _ Model = Overrides{}
+
+// NodeCost implements Model.
+func (o Overrides) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
+	if len(o.PerOp) > 0 {
+		if n.Op == expr.OpFunc {
+			if c, ok := o.PerOp["func:"+n.Sym]; ok {
+				return c
+			}
+		}
+		if n.Op == expr.OpVecFunc {
+			if c, ok := o.PerOp["VecFunc:"+n.Sym]; ok {
+				return c
+			}
+		}
+		if c, ok := o.PerOp[n.Op.String()]; ok {
+			return c
+		}
+	}
+	return o.Base.NodeCost(n, children)
+}
+
+// ScalarOnly is a cost model that forbids vector operations entirely; it is
+// used by the §5.6 ablation (vector rewriting disabled) and by tests.
+type ScalarOnly struct{}
+
+var _ Model = ScalarOnly{}
+
+// Forbidden is a node cost large enough that extraction never chooses the
+// node unless no alternative exists.
+const Forbidden = 1e12
+
+// NodeCost implements Model.
+func (ScalarOnly) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
+	if n.Op.IsVector() && n.Op != expr.OpList {
+		return Forbidden
+	}
+	return Diospyros{}.NodeCost(n, children)
+}

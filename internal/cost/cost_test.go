@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"testing"
+
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+)
+
+func get(arr string, i int) ChildInfo {
+	return ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: arr, Idx: i}}
+}
+
+func lit(v float64) ChildInfo {
+	return ChildInfo{Node: egraph.ENode{Op: expr.OpLit, Lit: v}}
+}
+
+func TestDiospyrosVectorAmortization(t *testing.T) {
+	m := Diospyros{Width: 4}
+	scalarAdd := m.NodeCost(egraph.ENode{Op: expr.OpAdd}, []ChildInfo{lit(0), lit(0)})
+	vecAdd := m.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil)
+	// One vector op covers Width lanes for about the price of one scalar op.
+	if vecAdd > scalarAdd {
+		t.Fatalf("VecAdd (%g) should not cost more than one scalar add (%g)", vecAdd, scalarAdd)
+	}
+}
+
+func TestScalarLoadCharge(t *testing.T) {
+	m := Diospyros{Width: 4}
+	noLoads := m.NodeCost(egraph.ENode{Op: expr.OpAdd}, []ChildInfo{lit(0), lit(0)})
+	twoLoads := m.NodeCost(egraph.ENode{Op: expr.OpAdd}, []ChildInfo{get("a", 0), get("b", 0)})
+	if twoLoads-noLoads != 2*ScalarLoadCost {
+		t.Fatalf("load charge = %g, want %g", twoLoads-noLoads, 2*ScalarLoadCost)
+	}
+}
+
+func TestLongLatencyOpsCostMore(t *testing.T) {
+	m := Diospyros{Width: 4}
+	add := m.NodeCost(egraph.ENode{Op: expr.OpAdd}, []ChildInfo{lit(0), lit(0)})
+	div := m.NodeCost(egraph.ENode{Op: expr.OpDiv}, []ChildInfo{lit(0), lit(1)})
+	vadd := m.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil)
+	vdiv := m.NodeCost(egraph.ENode{Op: expr.OpVecDiv}, nil)
+	if div <= add || vdiv <= vadd {
+		t.Fatal("division should cost more than addition")
+	}
+}
+
+func TestAllOpsStrictlyPositive(t *testing.T) {
+	// Strict monotonicity requires every node's own cost to be positive.
+	m := Diospyros{Width: 4}
+	for op := expr.Op(0); op < expr.NumOps; op++ {
+		n := egraph.ENode{Op: op}
+		var children []ChildInfo
+		switch expr.Arity(op) {
+		case 1:
+			children = []ChildInfo{lit(1)}
+		case 2:
+			children = []ChildInfo{lit(1), lit(1)}
+		case 3:
+			children = []ChildInfo{lit(1), lit(1), lit(1)}
+		}
+		if c := m.NodeCost(n, children); c <= 0 {
+			t.Errorf("op %s has non-positive cost %g", op, c)
+		}
+	}
+}
+
+func TestScalarOnlyForbidsVectors(t *testing.T) {
+	m := ScalarOnly{}
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil); c < Forbidden {
+		t.Fatalf("VecAdd allowed by ScalarOnly (cost %g)", c)
+	}
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpAdd}, []ChildInfo{lit(0), lit(0)}); c >= Forbidden {
+		t.Fatalf("scalar add forbidden by ScalarOnly (cost %g)", c)
+	}
+	// List is the scalar program container and must stay allowed.
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpList}, nil); c >= Forbidden {
+		t.Fatal("List forbidden by ScalarOnly")
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	base := Diospyros{Width: 4}
+	m := Overrides{Base: base, PerOp: map[string]float64{
+		"VecDiv":        100,
+		"func:recip":    0.25,
+		"VecFunc:recip": 0.5,
+	}}
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecDiv}, nil); c != 100 {
+		t.Fatalf("VecDiv override = %g", c)
+	}
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpFunc, Sym: "recip"}, nil); c != 0.25 {
+		t.Fatalf("func:recip override = %g", c)
+	}
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecFunc, Sym: "recip"}, nil); c != 0.5 {
+		t.Fatalf("VecFunc:recip override = %g", c)
+	}
+	// Other functions and ops fall through to the base model.
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpFunc, Sym: "other"}, nil); c == 0.25 {
+		t.Fatal("override leaked to a different function")
+	}
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil); c != base.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil) {
+		t.Fatal("non-overridden op changed")
+	}
+}
+
+func TestClassifyVecSplatOfGet(t *testing.T) {
+	// Repeated identical Gets are a single-array gather, not contiguous.
+	mc, _ := ClassifyVec([]ChildInfo{get("a", 2), get("a", 2), get("a", 2), get("a", 2)})
+	if mc != MoveSingleArray {
+		t.Fatalf("splat-like Vec classified as %v", mc)
+	}
+}

@@ -1,0 +1,80 @@
+package egraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diospyros/internal/expr"
+)
+
+// ToDot renders the e-graph in Graphviz dot syntax, with one cluster per
+// equivalence class (the visual convention of the paper's Figure 4 and the
+// egg tooling). Intended for debugging rewrite rules:
+//
+//	go run ./cmd/diospyros -dump-egraph kernel.dios | dot -Tsvg > egraph.svg
+func (g *EGraph) ToDot() string {
+	var b strings.Builder
+	b.WriteString("digraph egraph {\n")
+	b.WriteString("  compound=true;\n  node [shape=record, fontsize=10];\n")
+
+	type nodeRef struct {
+		class ClassID
+		idx   int
+	}
+	// Pick one representative node per class for edge targets.
+	rep := map[ClassID]string{}
+	var classes []*EClass
+	g.Classes(func(cls *EClass) { classes = append(classes, cls) })
+	sort.Slice(classes, func(i, j int) bool { return classes[i].ID < classes[j].ID })
+	for _, cls := range classes {
+		if len(cls.Nodes) > 0 {
+			rep[cls.ID] = fmt.Sprintf("n%d_0", cls.ID)
+		}
+	}
+
+	var edges []string
+	for _, cls := range classes {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", cls.ID)
+		fmt.Fprintf(&b, "    label=\"class %d\"; style=dashed;\n", cls.ID)
+		for i, n := range cls.Nodes {
+			name := fmt.Sprintf("n%d_%d", cls.ID, i)
+			fmt.Fprintf(&b, "    %s [label=\"%s\"];\n", name, dotLabel(n))
+			for ai, a := range n.Args {
+				target, ok := rep[g.Find(a)]
+				if !ok {
+					continue
+				}
+				edges = append(edges, fmt.Sprintf(
+					"  %s -> %s [lhead=cluster_%d, label=\"%d\", fontsize=8];",
+					name, target, g.Find(a), ai))
+			}
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotLabel(n ENode) string {
+	var s string
+	switch n.Op {
+	case expr.OpLit:
+		s = fmt.Sprintf("%g", n.Lit)
+	case expr.OpSym:
+		s = n.Sym
+	case expr.OpGet:
+		s = fmt.Sprintf("Get %s %d", n.Sym, n.Idx)
+	case expr.OpFunc, expr.OpVecFunc:
+		s = n.Op.String() + " " + n.Sym
+	default:
+		s = n.Op.String()
+	}
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

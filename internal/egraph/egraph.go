@@ -1,0 +1,379 @@
+// Package egraph implements an e-graph (equality graph) with hashconsing,
+// union–find, and deferred congruence-closure rebuilding, in the style of
+// egg (Willsey et al., POPL 2021), which the Diospyros paper uses as its
+// equality-saturation engine.
+//
+// An e-graph compactly represents a large set of equivalent terms. Nodes
+// (ENode) are operators applied to equivalence classes (EClass); two nodes in
+// the same class represent equal terms. Rewrite rules add nodes and merge
+// classes; Rebuild restores the congruence invariant (equal children imply
+// equal parents) after a batch of merges.
+package egraph
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"diospyros/internal/expr"
+)
+
+// ClassID identifies an equivalence class. IDs are stable but may be
+// non-canonical after unions; use Find to canonicalize.
+type ClassID uint32
+
+// ENode is an operator applied to child equivalence classes. Terminals
+// (literals, symbols, Get) carry payloads and have no children.
+type ENode struct {
+	Op   expr.Op
+	Lit  float64 // payload for expr.OpLit
+	Sym  string  // payload for OpSym, OpGet, OpFunc, OpVecFunc
+	Idx  int     // payload for OpGet
+	Args []ClassID
+}
+
+// Leaf reports whether the node has no children.
+func (n ENode) Leaf() bool { return len(n.Args) == 0 }
+
+// clone returns a copy of n with its own Args slice.
+func (n ENode) clone() ENode {
+	c := n
+	c.Args = append([]ClassID(nil), n.Args...)
+	return c
+}
+
+type parent struct {
+	node  ENode
+	class ClassID
+}
+
+// EClass is an equivalence class of nodes.
+type EClass struct {
+	ID      ClassID
+	Nodes   []ENode
+	parents []parent
+	// Data is scratch space for analyses (e.g. constant folding).
+	Data any
+}
+
+// EGraph is the main structure. The zero value is not usable; call New.
+type EGraph struct {
+	uf      []ClassID // union-find parent pointers
+	rank    []uint8
+	classes map[ClassID]*EClass
+	memo    map[string]ClassID
+	dirty   []ClassID // classes touched by unions, pending Rebuild
+
+	keyBuf []byte
+
+	// NodeLimit, when nonzero, makes Add a no-op (returning the would-be
+	// canonical class when the node exists, or creating nothing and
+	// reporting failure) once the graph holds that many nodes. The
+	// saturation runner uses this to stop gracefully.
+	nodeCount int
+}
+
+// New returns an empty e-graph.
+func New() *EGraph {
+	return &EGraph{
+		classes: make(map[ClassID]*EClass),
+		memo:    make(map[string]ClassID),
+	}
+}
+
+// NumClasses returns the number of canonical equivalence classes.
+func (g *EGraph) NumClasses() int { return len(g.classes) }
+
+// NumNodes returns the total number of e-nodes across all classes.
+func (g *EGraph) NumNodes() int { return g.nodeCount }
+
+// Find returns the canonical representative of the class. IDs that were
+// never issued by this graph are returned unchanged (and will not resolve
+// to any class).
+func (g *EGraph) Find(id ClassID) ClassID {
+	if int(id) >= len(g.uf) {
+		return id
+	}
+	for g.uf[id] != id {
+		g.uf[id] = g.uf[g.uf[id]] // path halving
+		id = g.uf[id]
+	}
+	return id
+}
+
+// Class returns the canonical class for id.
+func (g *EGraph) Class(id ClassID) *EClass { return g.classes[g.Find(id)] }
+
+// Classes calls f for every canonical class. It is safe for f to add nodes
+// or union classes; newly created classes may or may not be visited.
+func (g *EGraph) Classes(f func(*EClass)) {
+	ids := make([]ClassID, 0, len(g.classes))
+	for id := range g.classes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if cls, ok := g.classes[id]; ok && g.Find(id) == id {
+			f(cls)
+		}
+	}
+}
+
+// canonicalize rewrites the node's children to canonical class IDs in place.
+func (g *EGraph) canonicalize(n *ENode) {
+	for i, a := range n.Args {
+		n.Args[i] = g.Find(a)
+	}
+}
+
+// nodeKey builds the hashcons key for a canonical node.
+func (g *EGraph) nodeKey(n ENode) string {
+	b := g.keyBuf[:0]
+	b = append(b, byte(n.Op))
+	switch n.Op {
+	case expr.OpLit:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(n.Lit))
+	case expr.OpSym:
+		b = append(b, n.Sym...)
+	case expr.OpGet:
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(n.Idx)))
+		b = append(b, n.Sym...)
+	case expr.OpFunc, expr.OpVecFunc:
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(n.Sym)))
+		b = append(b, n.Sym...)
+	}
+	for _, a := range n.Args {
+		b = binary.LittleEndian.AppendUint32(b, uint32(a))
+	}
+	g.keyBuf = b
+	return string(b)
+}
+
+// Lookup reports the class containing the (canonicalized) node, if any.
+func (g *EGraph) Lookup(n ENode) (ClassID, bool) {
+	n = n.clone()
+	g.canonicalize(&n)
+	id, ok := g.memo[g.nodeKey(n)]
+	if !ok {
+		return 0, false
+	}
+	return g.Find(id), true
+}
+
+// Add inserts a node, returning its class. If an equal node already exists,
+// the existing class is returned and the graph is unchanged.
+func (g *EGraph) Add(n ENode) ClassID {
+	n = n.clone()
+	g.canonicalize(&n)
+	key := g.nodeKey(n)
+	if id, ok := g.memo[key]; ok {
+		return g.Find(id)
+	}
+	id := ClassID(len(g.uf))
+	g.uf = append(g.uf, id)
+	g.rank = append(g.rank, 0)
+	cls := &EClass{ID: id, Nodes: []ENode{n}}
+	g.classes[id] = cls
+	g.memo[key] = id
+	g.nodeCount++
+	for _, child := range dedupClasses(n.Args) {
+		cc := g.classes[child]
+		cc.parents = append(cc.parents, parent{node: n, class: id})
+	}
+	return id
+}
+
+func dedupClasses(ids []ClassID) []ClassID {
+	if len(ids) <= 1 {
+		return ids
+	}
+	seen := make(map[ClassID]bool, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AddLeaf inserts a terminal node for the given operator and payload.
+func (g *EGraph) AddLeaf(op expr.Op, lit float64, sym string, idx int) ClassID {
+	return g.Add(ENode{Op: op, Lit: lit, Sym: sym, Idx: idx})
+}
+
+// AddLit inserts a literal.
+func (g *EGraph) AddLit(v float64) ClassID {
+	return g.Add(ENode{Op: expr.OpLit, Lit: v})
+}
+
+// AddExpr inserts a whole expression, returning the root class. Shared
+// subterm pointers (expression DAGs, as produced by symbolic evaluation of
+// large kernels) are visited once.
+func (g *EGraph) AddExpr(e *expr.Expr) ClassID {
+	memo := make(map[*expr.Expr]ClassID)
+	var add func(*expr.Expr) ClassID
+	add = func(e *expr.Expr) ClassID {
+		if id, ok := memo[e]; ok {
+			return id
+		}
+		n := ENode{Op: e.Op, Lit: e.Lit, Sym: e.Sym, Idx: e.Idx}
+		if len(e.Args) > 0 {
+			n.Args = make([]ClassID, len(e.Args))
+			for i, a := range e.Args {
+				n.Args[i] = add(a)
+			}
+		}
+		id := g.Add(n)
+		memo[e] = id
+		return id
+	}
+	return add(e)
+}
+
+// Union merges the classes of a and b, returning the canonical class of the
+// merged result and whether the graph changed.
+func (g *EGraph) Union(a, b ClassID) (ClassID, bool) {
+	ra, rb := g.Find(a), g.Find(b)
+	if ra == rb {
+		return ra, false
+	}
+	// Union by rank; the loser's nodes and parents move to the winner.
+	if g.rank[ra] < g.rank[rb] {
+		ra, rb = rb, ra
+	} else if g.rank[ra] == g.rank[rb] {
+		g.rank[ra]++
+	}
+	g.uf[rb] = ra
+	win, lose := g.classes[ra], g.classes[rb]
+	win.Nodes = append(win.Nodes, lose.Nodes...)
+	win.parents = append(win.parents, lose.parents...)
+	delete(g.classes, rb)
+	g.dirty = append(g.dirty, ra)
+	return ra, true
+}
+
+// NeedsRebuild reports whether unions have occurred since the last Rebuild.
+func (g *EGraph) NeedsRebuild() bool { return len(g.dirty) > 0 }
+
+// Rebuild restores the congruence invariant after a batch of unions,
+// in the deferred style of egg: it repairs the hashcons entries of parents
+// of merged classes, discovering and applying congruence-induced unions
+// until a fixpoint, then canonicalizes and deduplicates class node lists.
+func (g *EGraph) Rebuild() {
+	for len(g.dirty) > 0 {
+		todo := g.dirty
+		g.dirty = nil
+		seen := make(map[ClassID]bool, len(todo))
+		for _, id := range todo {
+			root := g.Find(id)
+			if !seen[root] {
+				seen[root] = true
+				g.repair(root)
+			}
+		}
+	}
+	g.canonicalizeClasses()
+}
+
+func (g *EGraph) repair(id ClassID) {
+	cls := g.classes[g.Find(id)]
+	if cls == nil {
+		return
+	}
+	oldParents := cls.parents
+	cls.parents = nil
+	newParents := make(map[string]parent, len(oldParents))
+	for _, p := range oldParents {
+		// Remove the stale hashcons entry, re-canonicalize, re-insert.
+		delete(g.memo, g.nodeKey(p.node))
+		g.canonicalize(&p.node)
+		key := g.nodeKey(p.node)
+		if prev, ok := newParents[key]; ok {
+			// Congruence: two parents became identical.
+			g.Union(prev.class, p.class)
+		}
+		newParents[key] = parent{node: p.node, class: g.Find(p.class)}
+	}
+	// The class may have been merged away by the unions above.
+	cls = g.classes[g.Find(id)]
+	keys := make([]string, 0, len(newParents))
+	for k := range newParents {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := newParents[k]
+		p.class = g.Find(p.class)
+		g.memo[k] = p.class
+		cls.parents = append(cls.parents, p)
+	}
+}
+
+// canonicalizeClasses canonicalizes every node in every class and removes
+// duplicates, updating the total node count.
+func (g *EGraph) canonicalizeClasses() {
+	total := 0
+	for _, cls := range g.classes {
+		seen := make(map[string]bool, len(cls.Nodes))
+		out := cls.Nodes[:0]
+		for i := range cls.Nodes {
+			g.canonicalize(&cls.Nodes[i])
+			key := g.nodeKey(cls.Nodes[i])
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cls.Nodes[i])
+			}
+		}
+		cls.Nodes = out
+		total += len(out)
+	}
+	g.nodeCount = total
+}
+
+// CheckInvariants verifies hashcons and congruence invariants, returning a
+// list of violations. It is O(nodes) and intended for tests.
+func (g *EGraph) CheckInvariants() []string {
+	var bad []string
+	for _, cls := range g.classes {
+		if g.Find(cls.ID) != cls.ID {
+			bad = append(bad, "non-canonical class in map")
+		}
+		for _, n := range cls.Nodes {
+			c := n.clone()
+			g.canonicalize(&c)
+			id, ok := g.memo[g.nodeKey(c)]
+			if !ok {
+				bad = append(bad, "node missing from hashcons: "+g.nodeString(n))
+				continue
+			}
+			if g.Find(id) != cls.ID {
+				bad = append(bad, "hashcons maps node to wrong class: "+g.nodeString(n))
+			}
+		}
+	}
+	return bad
+}
+
+func (g *EGraph) nodeString(n ENode) string {
+	e := &expr.Expr{Op: n.Op, Lit: n.Lit, Sym: n.Sym, Idx: n.Idx}
+	for _, a := range n.Args {
+		e.Args = append(e.Args, expr.Sym("c"+itoa(int(g.Find(a)))))
+	}
+	return e.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [12]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,464 @@
+package egraph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"diospyros/internal/expr"
+)
+
+func TestAddHashconsing(t *testing.T) {
+	g := New()
+	a1 := g.AddExpr(expr.MustParse("(+ (Get a 0) (Get b 0))"))
+	a2 := g.AddExpr(expr.MustParse("(+ (Get a 0) (Get b 0))"))
+	if a1 != a2 {
+		t.Fatalf("identical exprs got different classes: %d vs %d", a1, a2)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3 (two Gets, one +)", g.NumNodes())
+	}
+	b := g.AddExpr(expr.MustParse("(+ (Get b 0) (Get a 0))"))
+	if b == a1 {
+		t.Fatal("commuted expr should be a different class (no AC by default)")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := New()
+	id := g.AddExpr(expr.MustParse("(* x y)"))
+	x, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "x"})
+	y, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "y"})
+	got, ok := g.Lookup(ENode{Op: expr.OpMul, Args: []ClassID{x, y}})
+	if !ok || got != id {
+		t.Fatalf("Lookup = %d, %v; want %d, true", got, ok, id)
+	}
+	if _, ok := g.Lookup(ENode{Op: expr.OpAdd, Args: []ClassID{x, y}}); ok {
+		t.Fatal("Lookup found a node that was never added")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	g := New()
+	x := g.AddExpr(expr.Sym("x"))
+	y := g.AddExpr(expr.Sym("y"))
+	z := g.AddExpr(expr.Sym("z"))
+	if _, changed := g.Union(x, y); !changed {
+		t.Fatal("first union should change the graph")
+	}
+	if _, changed := g.Union(x, y); changed {
+		t.Fatal("repeated union should not change the graph")
+	}
+	g.Union(y, z)
+	g.Rebuild()
+	if g.Find(x) != g.Find(z) {
+		t.Fatal("union not transitive")
+	}
+	if g.NumClasses() != 1 {
+		t.Fatalf("NumClasses = %d, want 1", g.NumClasses())
+	}
+}
+
+// TestCongruenceClosure is the canonical e-graph test: after asserting a = b,
+// f(a) and f(b) must become equal when the graph is rebuilt.
+func TestCongruenceClosure(t *testing.T) {
+	g := New()
+	fa := g.AddExpr(expr.MustParse("(sqrt a)"))
+	fb := g.AddExpr(expr.MustParse("(sqrt b)"))
+	if g.Find(fa) == g.Find(fb) {
+		t.Fatal("f(a) and f(b) equal before union")
+	}
+	a, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "a"})
+	b, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "b"})
+	g.Union(a, b)
+	g.Rebuild()
+	if g.Find(fa) != g.Find(fb) {
+		t.Fatal("congruence not restored: sqrt(a) != sqrt(b) after a=b")
+	}
+	if bad := g.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariant violations: %v", bad)
+	}
+}
+
+// Nested congruence: a=b should propagate through g(f(x)) chains.
+func TestCongruenceClosureDeep(t *testing.T) {
+	g := New()
+	l := g.AddExpr(expr.MustParse("(sqrt (neg (+ a 1)))"))
+	r := g.AddExpr(expr.MustParse("(sqrt (neg (+ b 1)))"))
+	a, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "a"})
+	b, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "b"})
+	g.Union(a, b)
+	g.Rebuild()
+	if g.Find(l) != g.Find(r) {
+		t.Fatal("deep congruence not restored")
+	}
+}
+
+func TestCongruenceMergesParentsAcrossOps(t *testing.T) {
+	g := New()
+	// Two different parents over the same children: (+ a c) and (* a c).
+	// Unioning a=b must merge (+ a c) with (+ b c) but NOT with (* a c).
+	addA := g.AddExpr(expr.MustParse("(+ a c)"))
+	addB := g.AddExpr(expr.MustParse("(+ b c)"))
+	mulA := g.AddExpr(expr.MustParse("(* a c)"))
+	a, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "a"})
+	b, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "b"})
+	g.Union(a, b)
+	g.Rebuild()
+	if g.Find(addA) != g.Find(addB) {
+		t.Fatal("congruent + parents not merged")
+	}
+	if g.Find(addA) == g.Find(mulA) {
+		t.Fatal("* parent wrongly merged with +")
+	}
+}
+
+func TestPatternParse(t *testing.T) {
+	cases := []struct {
+		src  string
+		vars []string
+	}{
+		{"?a", []string{"?a"}},
+		{"(+ ?a ?b)", []string{"?a", "?b"}},
+		{"(+ ?a (* ?b ?a))", []string{"?a", "?b"}},
+		{"(VecMAC ?acc ?b ?c)", []string{"?acc", "?b", "?c"}},
+		{"(Get ?arr ?i)", nil},
+		{"(+ ?a 0)", []string{"?a"}},
+	}
+	for _, c := range cases {
+		p, err := ParsePattern(c.src)
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", c.src, err)
+		}
+		if got := p.Vars(); !reflect.DeepEqual(got, c.vars) {
+			t.Errorf("Vars(%q) = %v, want %v", c.src, got, c.vars)
+		}
+	}
+	if _, err := ParsePattern("(bogus ?a)"); err == nil {
+		t.Error("expected error for unknown operator")
+	}
+}
+
+func TestSearchPattern(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(+ (Get a 0) (* (Get b 0) (Get c 0)))"))
+	ms := g.SearchPattern(MustPattern("(+ ?x (* ?y ?z))"))
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1", len(ms))
+	}
+	s := ms[0].Subst
+	wantX, _ := g.Lookup(ENode{Op: expr.OpGet, Sym: "a", Idx: 0})
+	if g.Find(s["?x"]) != wantX {
+		t.Errorf("?x bound to %d, want %d", s["?x"], wantX)
+	}
+	// Nonlinear pattern: (+ ?x ?x) must not match (+ a b).
+	g2 := New()
+	g2.AddExpr(expr.MustParse("(+ a b)"))
+	g2.AddExpr(expr.MustParse("(+ c c)"))
+	ms = g2.SearchPattern(MustPattern("(+ ?x ?x)"))
+	if len(ms) != 1 {
+		t.Fatalf("nonlinear: got %d matches, want 1", len(ms))
+	}
+}
+
+func TestSearchPatternAcrossClasses(t *testing.T) {
+	// After a union, patterns must see all nodes in the merged class.
+	g := New()
+	root := g.AddExpr(expr.MustParse("(sqrt x)"))
+	alt := g.AddExpr(expr.MustParse("(* y y)"))
+	g.Union(root, alt)
+	g.Rebuild()
+	ms := g.SearchPattern(MustPattern("(sqrt (* ?a ?a))"))
+	// sqrt's child class is x (not merged), so no match expected there;
+	// but (sqrt x) where x ~ nothing. Instead match (* ?a ?a) inside the
+	// merged root class.
+	ms = g.SearchPattern(MustPattern("(* ?a ?a)"))
+	found := false
+	for _, m := range ms {
+		if g.Find(m.Class) == g.Find(root) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pattern did not see node added by union into merged class")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(+ p q)"))
+	ms := g.SearchPattern(MustPattern("(+ ?a ?b)"))
+	if len(ms) != 1 {
+		t.Fatal("setup failed")
+	}
+	id, err := g.Instantiate(MustPattern("(* ?b ?a)"), ms[0].Subst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "q"})
+	p, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "p"})
+	want, ok := g.Lookup(ENode{Op: expr.OpMul, Args: []ClassID{q, p}})
+	if !ok || want != id {
+		t.Fatalf("Instantiate produced class %d, want %d", id, want)
+	}
+	if _, err := g.Instantiate(MustPattern("?zzz"), ms[0].Subst); err == nil {
+		t.Error("expected unbound-variable error")
+	}
+}
+
+func TestRunSimpleRewrite(t *testing.T) {
+	g := New()
+	root := g.AddExpr(expr.MustParse("(+ (+ x 0) 0)"))
+	rules := []Rewrite{MustRewrite("add-zero", "(+ ?a 0)", "?a")}
+	rep := Run(g, rules, Limits{})
+	if !rep.Saturated() {
+		t.Fatalf("run did not saturate: %+v", rep)
+	}
+	x, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "x"})
+	if g.Find(root) != g.Find(x) {
+		t.Fatal("(+ (+ x 0) 0) not rewritten to x")
+	}
+	if rep.PerRule["add-zero"] < 2 {
+		t.Errorf("expected >=2 applications, got %d", rep.PerRule["add-zero"])
+	}
+}
+
+func TestRunMACRewrite(t *testing.T) {
+	// The paper's Figure 4: (VecAdd v1 (VecMul v2 v3)) gains a VecMAC node
+	// in the same class.
+	g := New()
+	root := g.AddExpr(expr.MustParse("(VecAdd (Vec a 0) (VecMul (Vec b 0) (Vec c 0)))"))
+	rules := []Rewrite{MustRewrite("vec-mac", "(VecAdd ?a (VecMul ?b ?c))", "(VecMAC ?a ?b ?c)")}
+	rep := Run(g, rules, Limits{})
+	if !rep.Saturated() {
+		t.Fatalf("did not saturate: %+v", rep)
+	}
+	found := false
+	for _, n := range g.Class(root).Nodes {
+		if n.Op == expr.OpVecMAC {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("VecMAC node not in root class after rewrite")
+	}
+}
+
+func TestRunNodeLimit(t *testing.T) {
+	// Distribution over a deep sum explodes before it saturates; a small
+	// node limit must stop the run and leave the graph consistent.
+	g := New()
+	g.AddExpr(expr.MustParse("(* a (+ b (+ c (+ d (+ e (+ f h))))))"))
+	n0 := g.NumNodes()
+	rules := []Rewrite{
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("commute-mul", "(* ?a ?b)", "(* ?b ?a)"),
+		MustRewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+	}
+	rep := Run(g, rules, Limits{MaxNodes: n0 + 8, MaxIterations: 50})
+	if rep.Reason != StopNodeLimit {
+		t.Fatalf("Reason = %s, want node-limit (%+v)", rep.Reason, rep)
+	}
+	if bad := g.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants broken after early stop: %v", bad)
+	}
+}
+
+func TestRunIterLimit(t *testing.T) {
+	// Associativity over a long chain needs several iterations; cap at 1.
+	g := New()
+	g.AddExpr(expr.MustParse("(+ (+ (+ (+ a b) c) d) e)"))
+	rules := []Rewrite{
+		MustRewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+	}
+	rep := Run(g, rules, Limits{MaxIterations: 1})
+	if rep.Reason != StopIterLimit || rep.Iterations != 1 {
+		t.Fatalf("got %+v, want 1 iteration and iter-limit", rep)
+	}
+}
+
+func TestBidirectionalRulesConverge(t *testing.T) {
+	// a*(b+c) = a*b + a*c in both directions should saturate (hashconsing
+	// prevents infinite ping-pong).
+	g := New()
+	root := g.AddExpr(expr.MustParse("(* a (+ b c))"))
+	rules := []Rewrite{
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
+	}
+	rep := Run(g, rules, Limits{MaxIterations: 10, MaxNodes: 1000})
+	if !rep.Saturated() {
+		t.Fatalf("did not saturate: %+v", rep)
+	}
+	// Both forms live in the root class.
+	var ops []expr.Op
+	for _, n := range g.Class(root).Nodes {
+		ops = append(ops, n.Op)
+	}
+	hasAdd, hasMul := false, false
+	for _, op := range ops {
+		if op == expr.OpAdd {
+			hasAdd = true
+		}
+		if op == expr.OpMul {
+			hasMul = true
+		}
+	}
+	if !hasAdd || !hasMul {
+		t.Fatalf("root class ops = %v, want both + and *", ops)
+	}
+}
+
+// Property test: random unions preserve the e-graph invariants after Rebuild.
+type unionScript struct {
+	Exprs []uint8 // indices into a fixed expression pool
+	Pairs []uint8
+}
+
+func (unionScript) Generate(r *rand.Rand, _ int) reflect.Value {
+	s := unionScript{}
+	n := 3 + r.Intn(6)
+	for i := 0; i < n; i++ {
+		s.Exprs = append(s.Exprs, uint8(r.Intn(len(exprPool))))
+	}
+	for i := 0; i < 2+r.Intn(8); i++ {
+		s.Pairs = append(s.Pairs, uint8(r.Intn(n)), uint8(r.Intn(n)))
+	}
+	return reflect.ValueOf(s)
+}
+
+var exprPool = []string{
+	"x", "y", "(+ x y)", "(* x y)", "(+ (+ x y) z)", "(sqrt x)",
+	"(sqrt y)", "(* (sqrt x) (sqrt y))", "(+ x 0)", "(neg (+ x y))",
+	"(Get a 0)", "(Get a 1)", "(+ (Get a 0) (Get a 1))",
+	"(Vec (Get a 0) (Get a 1))", "(VecAdd (Vec x x) (Vec y y))",
+}
+
+func TestPropertyRebuildInvariants(t *testing.T) {
+	f := func(s unionScript) bool {
+		g := New()
+		ids := make([]ClassID, len(s.Exprs))
+		for i, ei := range s.Exprs {
+			ids[i] = g.AddExpr(expr.MustParse(exprPool[ei]))
+		}
+		for i := 0; i+1 < len(s.Pairs); i += 2 {
+			g.Union(ids[s.Pairs[i]], ids[s.Pairs[i+1]])
+		}
+		g.Rebuild()
+		return len(g.CheckInvariants()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding the same expression twice always yields the same class,
+// even interleaved with unions and rebuilds.
+func TestPropertyHashconsStability(t *testing.T) {
+	f := func(s unionScript) bool {
+		g := New()
+		ids := make([]ClassID, len(s.Exprs))
+		for i, ei := range s.Exprs {
+			ids[i] = g.AddExpr(expr.MustParse(exprPool[ei]))
+		}
+		for i := 0; i+1 < len(s.Pairs); i += 2 {
+			g.Union(ids[s.Pairs[i]], ids[s.Pairs[i+1]])
+			g.Rebuild()
+		}
+		for i, ei := range s.Exprs {
+			if g.Find(g.AddExpr(expr.MustParse(exprPool[ei]))) != g.Find(ids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassesIterationIsCanonical(t *testing.T) {
+	g := New()
+	a := g.AddExpr(expr.Sym("a"))
+	b := g.AddExpr(expr.Sym("b"))
+	g.Union(a, b)
+	g.Rebuild()
+	count := 0
+	g.Classes(func(cls *EClass) {
+		count++
+		if g.Find(cls.ID) != cls.ID {
+			t.Error("visited non-canonical class")
+		}
+	})
+	if count != 1 {
+		t.Fatalf("visited %d classes, want 1", count)
+	}
+}
+
+func TestBackoffSchedulerBoundsExplosiveRules(t *testing.T) {
+	// Full AC on a deep sum explodes; with the backoff scheduler the run
+	// survives a tight node budget long enough for the useful rule to fire.
+	build := func() (*EGraph, ClassID) {
+		g := New()
+		id := g.AddExpr(expr.MustParse("(+ (+ (+ (+ (+ (+ a b) c) d) e) f) 0)"))
+		return g, id
+	}
+	rules := []Rewrite{
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+		MustRewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+		MustRewrite("add-0", "(+ ?a 0)", "?a"),
+	}
+	// Without backoff the AC rules eat the node budget quickly.
+	g1, _ := build()
+	rep1 := Run(g1, rules, Limits{MaxNodes: 2000, MaxIterations: 64})
+	if rep1.Reason != StopNodeLimit {
+		t.Logf("without backoff: %s in %d iterations", rep1.Reason, rep1.Iterations)
+	}
+	// With backoff, the cheap simplification still lands.
+	g2, root2 := build()
+	rep2 := Run(g2, rules, Limits{
+		MaxNodes:      2000,
+		MaxIterations: 64,
+		Backoff:       &Backoff{MatchLimit: 8, BanLength: 2},
+	})
+	simplified := g2.AddExpr(expr.MustParse("(+ (+ (+ (+ (+ a b) c) d) e) f)"))
+	if g2.Find(root2) != g2.Find(simplified) {
+		t.Fatalf("add-0 did not apply under backoff scheduling (%+v)", rep2)
+	}
+	if rep2.PerRule["add-0"] == 0 {
+		t.Fatal("add-0 never applied")
+	}
+}
+
+func TestBackoffStillSaturatesSimpleRuns(t *testing.T) {
+	g := New()
+	root := g.AddExpr(expr.MustParse("(+ (+ x 0) 0)"))
+	rep := Run(g, []Rewrite{MustRewrite("add-zero", "(+ ?a 0)", "?a")},
+		Limits{Backoff: &Backoff{}})
+	if !rep.Saturated() {
+		t.Fatalf("backoff prevented saturation: %+v", rep)
+	}
+	x, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "x"})
+	if g.Find(root) != g.Find(x) {
+		t.Fatal("rewrite missing")
+	}
+}
+
+func TestToDot(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(VecAdd (Vec (Get a 0) x) (Vec 1.5 (func f y)))"))
+	dot := g.ToDot()
+	for _, want := range []string{
+		"digraph egraph", "cluster_", "VecAdd", "Get a 0", "func f", "1.5",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	// One cluster per class.
+	if strings.Count(dot, "subgraph cluster_") != g.NumClasses() {
+		t.Errorf("cluster count != class count")
+	}
+}

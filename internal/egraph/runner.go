@@ -1,0 +1,210 @@
+package egraph
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rewrite is one rewrite rule: a searcher that finds matches in the graph
+// and an applier that realizes a match. This mirrors egg's Searcher/Applier
+// split (paper §3.3): syntactic rules are built with NewRewrite, while the
+// vectorization rules use custom Go searchers.
+type Rewrite interface {
+	Name() string
+	Search(g *EGraph) []Match
+	Apply(g *EGraph, m Match) bool // reports whether the graph changed
+}
+
+// patternRewrite is a purely syntactic rule lhs ⇝ rhs.
+type patternRewrite struct {
+	name     string
+	lhs, rhs *Pattern
+}
+
+// NewRewrite builds a syntactic rewrite rule from two patterns. Every
+// variable in rhs must occur in lhs.
+func NewRewrite(name string, lhs, rhs *Pattern) Rewrite {
+	lvars := map[string]bool{}
+	for _, v := range lhs.Vars() {
+		lvars[v] = true
+	}
+	for _, v := range rhs.Vars() {
+		if !lvars[v] {
+			panic("egraph: rewrite " + name + ": unbound rhs variable " + v)
+		}
+	}
+	return &patternRewrite{name: name, lhs: lhs, rhs: rhs}
+}
+
+// MustRewrite builds a syntactic rule from pattern source strings.
+func MustRewrite(name, lhs, rhs string) Rewrite {
+	return NewRewrite(name, MustPattern(lhs), MustPattern(rhs))
+}
+
+// ParseRewrite builds a syntactic rule from pattern source strings,
+// reporting malformed patterns or unbound right-hand-side variables as
+// errors. This is the entry point for user-supplied rules (paper §6).
+func ParseRewrite(name, lhs, rhs string) (rw Rewrite, err error) {
+	l, err := ParsePattern(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("egraph: rule %s lhs: %w", name, err)
+	}
+	r, err := ParsePattern(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("egraph: rule %s rhs: %w", name, err)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("egraph: rule %s: %v", name, p)
+		}
+	}()
+	return NewRewrite(name, l, r), nil
+}
+
+func (r *patternRewrite) Name() string { return r.name }
+
+func (r *patternRewrite) Search(g *EGraph) []Match { return g.SearchPattern(r.lhs) }
+
+func (r *patternRewrite) Apply(g *EGraph, m Match) bool {
+	id, err := r.rhs.instantiateOrErr(g, m.Subst)
+	if err != nil {
+		return false
+	}
+	_, changed := g.Union(m.Class, id)
+	return changed
+}
+
+func (p *Pattern) instantiateOrErr(g *EGraph, s Subst) (ClassID, error) {
+	return g.Instantiate(p, s)
+}
+
+// StopReason explains why a saturation run ended.
+type StopReason string
+
+const (
+	StopSaturated StopReason = "saturated"  // no rule changed the graph
+	StopTimeout   StopReason = "timeout"    // wall-clock limit reached
+	StopNodeLimit StopReason = "node-limit" // e-graph grew past the node limit
+	StopIterLimit StopReason = "iter-limit" // iteration cap reached
+)
+
+// Limits bounds a saturation run. Zero values mean "no limit" except
+// MaxIterations, which defaults to 64 (a safety net).
+type Limits struct {
+	MaxNodes      int
+	MaxIterations int
+	Timeout       time.Duration
+	// Backoff, when non-nil, schedules rules with egg's backoff policy:
+	// rules that over-match are banned with exponentially growing bans.
+	Backoff *Backoff
+}
+
+// Report summarizes a saturation run (feeds the paper's Table 1).
+type Report struct {
+	Iterations int
+	Nodes      int
+	Classes    int
+	Applied    int // total successful rule applications
+	Reason     StopReason
+	Duration   time.Duration
+	// PerRule counts successful applications per rule name.
+	PerRule map[string]int
+}
+
+// Saturated reports whether the run reached a fixpoint (the e-graph
+// represents all programs reachable with the rule set).
+func (r Report) Saturated() bool { return r.Reason == StopSaturated }
+
+// Run performs equality saturation: it repeatedly searches all rules,
+// applies every match, and rebuilds, until saturation or a limit is hit.
+// Matches are searched before any are applied within an iteration, so rule
+// application order within an iteration cannot hide matches (the phase-
+// ordering-free property of equality saturation, paper §3.3).
+func Run(g *EGraph, rules []Rewrite, lim Limits) Report {
+	start := time.Now()
+	maxIter := lim.MaxIterations
+	if maxIter == 0 {
+		maxIter = 64
+	}
+	rep := Report{PerRule: map[string]int{}, Reason: StopIterLimit}
+
+	deadline := time.Time{}
+	if lim.Timeout > 0 {
+		deadline = start.Add(lim.Timeout)
+	}
+	over := func() (StopReason, bool) {
+		if lim.MaxNodes > 0 && g.NumNodes() >= lim.MaxNodes {
+			return StopNodeLimit, true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return StopTimeout, true
+		}
+		return "", false
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		if reason, stop := over(); stop {
+			rep.Reason = reason
+			break
+		}
+		rep.Iterations = iter + 1
+
+		type found struct {
+			rule    Rewrite
+			matches []Match
+		}
+		ruleSkipped := false
+		all := make([]found, 0, len(rules))
+		for _, r := range rules {
+			if lim.Backoff != nil && lim.Backoff.banned(r.Name(), iter) {
+				ruleSkipped = true
+				continue
+			}
+			ms := r.Search(g)
+			if lim.Backoff != nil && lim.Backoff.record(r.Name(), len(ms), iter) {
+				ruleSkipped = true
+				continue
+			}
+			if len(ms) > 0 {
+				all = append(all, found{r, ms})
+			}
+			if reason, stop := over(); stop {
+				// Searching can be the expensive phase for custom
+				// searchers; honor the deadline between rules.
+				rep.Reason = reason
+				goto done
+			}
+		}
+
+		changed := false
+		for _, f := range all {
+			for _, m := range f.matches {
+				if f.rule.Apply(g, m) {
+					changed = true
+					rep.Applied++
+					rep.PerRule[f.rule.Name()]++
+				}
+				if reason, stop := over(); stop {
+					g.Rebuild()
+					rep.Reason = reason
+					goto done
+				}
+			}
+		}
+		g.Rebuild()
+		if !changed && !ruleSkipped &&
+			(lim.Backoff == nil || !lim.Backoff.anyBanned(iter+1)) {
+			rep.Reason = StopSaturated
+			break
+		}
+	}
+
+done:
+	if g.NeedsRebuild() {
+		g.Rebuild()
+	}
+	rep.Nodes = g.NumNodes()
+	rep.Classes = g.NumClasses()
+	rep.Duration = time.Since(start)
+	return rep
+}

@@ -1,0 +1,76 @@
+package egraph
+
+// Backoff is egg's BackoffScheduler: rules whose match count explodes are
+// temporarily banned with exponentially growing ban lengths, so expensive
+// rule families (classically associativity/commutativity, §3.3) cannot
+// starve the rest of the search. A run only reports saturation when a full
+// iteration with no active bans produces no change.
+type Backoff struct {
+	// MatchLimit is the per-rule, per-iteration match budget before the
+	// rule is banned (doubled after each ban). 0 means 1024.
+	MatchLimit int
+	// BanLength is the initial ban duration in iterations (doubled after
+	// each ban). 0 means 4.
+	BanLength int
+
+	stats map[string]*backoffStat
+}
+
+type backoffStat struct {
+	bans        int
+	bannedUntil int
+}
+
+func (b *Backoff) limit() int {
+	if b.MatchLimit <= 0 {
+		return 1024
+	}
+	return b.MatchLimit
+}
+
+func (b *Backoff) banLen() int {
+	if b.BanLength <= 0 {
+		return 4
+	}
+	return b.BanLength
+}
+
+func (b *Backoff) stat(name string) *backoffStat {
+	if b.stats == nil {
+		b.stats = map[string]*backoffStat{}
+	}
+	s, ok := b.stats[name]
+	if !ok {
+		s = &backoffStat{}
+		b.stats[name] = s
+	}
+	return s
+}
+
+// banned reports whether the rule sits out this iteration.
+func (b *Backoff) banned(name string, iter int) bool {
+	return b.stat(name).bannedUntil > iter
+}
+
+// record inspects a rule's match count; if over budget it bans the rule and
+// reports that its matches must be discarded this iteration.
+func (b *Backoff) record(name string, matches, iter int) (skip bool) {
+	s := b.stat(name)
+	lim := b.limit() << uint(s.bans)
+	if matches <= lim {
+		return false
+	}
+	s.bannedUntil = iter + b.banLen()<<uint(s.bans)
+	s.bans++
+	return true
+}
+
+// anyBanned reports whether any rule is banned at the given iteration.
+func (b *Backoff) anyBanned(iter int) bool {
+	for _, s := range b.stats {
+		if s.bannedUntil > iter {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package eigenlite
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiSrc instantiates a cyclic-Jacobi symmetric eigendecomposition of an
+// n×n matrix: A = V · diag(vals) · Vᵀ. The sweep loop iterates until the
+// off-diagonal norm falls below tolerance — data-dependent control flow, so
+// this routine exists only in the scalar library (it cannot be lifted or
+// unrolled), exactly the situation §5.7 describes for the SVD part of the
+// Theia camera model.
+func JacobiSrc(n int) string {
+	return fmt.Sprintf(`
+kernel eigen_jacobi(a[%d][%d]) -> (vals[%d], vecs[%d][%d]) {
+    var m[%d][%d];
+    for i in 0..%d {
+        for j in 0..%d {
+            m[i][j] = a[i][j];
+            vecs[i][j] = 0.0;
+        }
+        vecs[i][i] = 1.0;
+    }
+    let off = 1.0;
+    let sweeps = 0;
+    while off > 0.000000000001 && sweeps < 60 {
+        for p in 0..%d {
+            for q in p+1..%d {
+                let apq = m[p][q];
+                if abs(apq) > 0.0000000000001 {
+                    let theta = (m[q][q] - m[p][p]) / (2.0 * apq);
+                    let tt = sgn(theta) / (abs(theta) + sqrt(theta*theta + 1.0));
+                    let cc = 1.0 / sqrt(tt*tt + 1.0);
+                    let ss = tt * cc;
+                    for k in 0..%d {
+                        let mkp = m[k][p];
+                        let mkq = m[k][q];
+                        m[k][p] = cc*mkp - ss*mkq;
+                        m[k][q] = ss*mkp + cc*mkq;
+                    }
+                    for k in 0..%d {
+                        let mpk = m[p][k];
+                        let mqk = m[q][k];
+                        m[p][k] = cc*mpk - ss*mqk;
+                        m[q][k] = ss*mpk + cc*mqk;
+                    }
+                    for k in 0..%d {
+                        let vkp = vecs[k][p];
+                        let vkq = vecs[k][q];
+                        vecs[k][p] = cc*vkp - ss*vkq;
+                        vecs[k][q] = ss*vkp + cc*vkq;
+                    }
+                }
+            }
+        }
+        off = 0.0;
+        for i in 0..%d {
+            for j in 0..%d {
+                if i != j {
+                    off = off + m[i][j]*m[i][j];
+                }
+            }
+        }
+        sweeps = sweeps + 1;
+    }
+    for i in 0..%d {
+        vals[i] = m[i][i];
+    }
+}
+`, n, n, n, n, n, n, n, n, n, n-1, n, n, n, n, n, n, n)
+}
+
+// mixed int/float condition: `off > eps && sweeps < 60` exercises the
+// short-circuit compilation path in kcc.
+
+// JacobiEigenRef is the host reference: symmetric eigendecomposition by
+// cyclic Jacobi rotations. Returns eigenvalues and the eigenvector matrix V
+// (columns are eigenvectors), both unordered.
+func JacobiEigenRef(n int, a []float64) (vals []float64, vecs []float64) {
+	m := append([]float64(nil), a...)
+	vecs = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		vecs[i*n+i] = 1
+	}
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					off += m[i*n+j] * m[i*n+j]
+				}
+			}
+		}
+		if off <= 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) <= 1e-13 {
+					continue
+				}
+				theta := (m[q*n+q] - m[p*n+p]) / (2 * apq)
+				t := sign(theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*mkp - s*mkq
+					m[k*n+q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*mpk - s*mqk
+					m[q*n+k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vecs[k*n+p], vecs[k*n+q]
+					vecs[k*n+p] = c*vkp - s*vkq
+					vecs[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i*n+i]
+	}
+	return vals, vecs
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// RQ3x3Ref is the host reference RQ decomposition: M = R·Q with R upper
+// triangular and Q orthogonal, computed from a QR decomposition of the
+// row-reversed transpose (the reduction used by Theia's camera model, whose
+// hot inner kernel is the 3×3 QR that §5.7 swaps for Diospyros code).
+//
+// With E the exchange (anti-identity) matrix: M̃ = (E·M)ᵀ; M̃ = Q̃·R̃;
+// then R = E·R̃ᵀ·E and Q = E·Q̃ᵀ.
+func RQ3x3Ref(m []float64, qr func(a []float64) (q, r []float64)) (rOut, qOut []float64) {
+	const n = 3
+	// M̃ = (E·M)ᵀ, i.e. M̃[i][j] = M[n-1-j][i].
+	mt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			mt[i*n+j] = m[(n-1-j)*n+i]
+		}
+	}
+	qt, rt := qr(mt)
+	rOut = make([]float64, n*n)
+	qOut = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// R = E·R̃ᵀ·E: R[i][j] = R̃[n-1-j][n-1-i]
+			rOut[i*n+j] = rt[(n-1-j)*n+(n-1-i)]
+			// Q = E·Q̃ᵀ: Q[i][j] = Q̃[j][n-1-i]
+			qOut[i*n+j] = qt[j*n+(n-1-i)]
+		}
+	}
+	return rOut, qOut
+}

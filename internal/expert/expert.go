@@ -1,0 +1,92 @@
+// Package expert contains a hand-scheduled FG3-lite kernel standing in for
+// the proprietary expert-written 2×3 · 3×3 matrix multiply the paper
+// compares against (§5.4): the expert kernel and the Diospyros kernel
+// perform the same vector-arithmetic mix — two vector multiplies and four
+// fused multiply–accumulates — and differ only in hand-picked data
+// movement.
+package expert
+
+import (
+	"diospyros/internal/isa"
+	"diospyros/internal/sim"
+)
+
+// MatMul2x3x3 builds the hand-tuned kernel computing c[2×3] = a[2×3]·b[3×3].
+// Layout: a (8 padded), b (12 padded), c (8 padded).
+//
+// Schedule: the six outputs are packed as chunk0 = (c00 c01 c02 c10) and
+// chunk1 = (c11 c12 — —). Each chunk is one VMul plus two VMacs over
+// shuffled operand vectors; all shuffles gather from a single array.
+func MatMul2x3x3() *isa.Program {
+	lay := isa.NewLayout()
+	lay.Add("a", 8)
+	lay.Add("b", 12)
+	lay.Add("c", 8)
+	b := isa.NewBuilder("expert_matmul_2x3_3x3", lay)
+
+	aBase, bBase, cBase := b.IReg(), b.IReg(), b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: aBase, IImm: lay.Base("a")})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: bBase, IImm: lay.Base("b")})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: cBase, IImm: lay.Base("c")})
+
+	// Operand windows: two loads cover a (padded), three cover b (padded).
+	a0, a4 := b.VReg(), b.VReg()
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: a0, A: aBase, IImm: 0}) // a0..a3
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: a4, A: aBase, IImm: 4}) // a4..a7
+	b0, b4, b8 := b.VReg(), b.VReg(), b.VReg()
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: b0, A: bBase, IImm: 0}) // b0..b3
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: b4, A: bBase, IImm: 4}) // b4..b7
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: b8, A: bBase, IImm: 8}) // b8..b11
+
+	// chunk0 = (c00 c01 c02 c10); the reduction order differs per lane so
+	// every operand vector is a single select or shuffle.
+	av := b.VReg()
+	bv := b.VReg()
+	acc0 := b.VReg()
+	// (a0 a0 a0 a4) × (b0 b1 b2 b3): the b operand is the raw load.
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: av, A: a0, B: a4, Idx: []int{0, 0, 0, 4}})
+	b.Emit(isa.Instr{Op: isa.VMul, Dst: acc0, A: av, B: b0})
+	// += (a1 a1 a1 a3) × (b3 b4 b5 b0).
+	b.Emit(isa.Instr{Op: isa.VShfl, Dst: av, A: a0, Idx: []int{1, 1, 1, 3}})
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: bv, A: b0, B: b4, Idx: []int{3, 4, 5, 0}})
+	b.Emit(isa.Instr{Op: isa.VMac, Dst: acc0, A: av, B: bv})
+	// += (a2 a2 a2 a5) × (b6 b7 b8 b6).
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: av, A: a0, B: a4, Idx: []int{2, 2, 2, 5}})
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: bv, A: b4, B: b8, Idx: []int{2, 3, 4, 2}})
+	b.Emit(isa.Instr{Op: isa.VMac, Dst: acc0, A: av, B: bv})
+	b.Emit(isa.Instr{Op: isa.VStore, A: cBase, IImm: 0, B: acc0})
+
+	// chunk1 = (c11 c12 · ·): only two lanes are stored (don't-care rest).
+	acc1 := b.VReg()
+	av2 := b.VReg()
+	bv2 := b.VReg()
+	// (a4 a3 · ·) × (b4 b2 · ·).
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: av, A: a0, B: a4, Idx: []int{4, 3, 0, 0}})
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: bv, A: b0, B: b4, Idx: []int{4, 2, 0, 0}})
+	b.Emit(isa.Instr{Op: isa.VMul, Dst: acc1, A: av, B: bv})
+	// += (a3 a4 · ·) × (b1 b5 · ·): the a operand is one unaligned load.
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: av2, A: aBase, IImm: 3})
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: bv, A: b0, B: b4, Idx: []int{1, 5, 0, 0}})
+	b.Emit(isa.Instr{Op: isa.VMac, Dst: acc1, A: av2, B: bv})
+	// += (a5 a5 · ·) × (b7 b8 · ·): broadcast a5 from its window, load b7.
+	b.Emit(isa.Instr{Op: isa.VShfl, Dst: av, A: a4, Idx: []int{1, 1, 1, 1}})
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: bv2, A: bBase, IImm: 7})
+	b.Emit(isa.Instr{Op: isa.VMac, Dst: acc1, A: av, B: bv2})
+	b.Emit(isa.Instr{Op: isa.VStoreN, A: cBase, IImm: 4, B: acc1, IImm2: 2})
+
+	return b.MustBuild()
+}
+
+// Run executes the expert kernel.
+func Run(a, bm []float64) ([]float64, *sim.Result, error) {
+	p := MatMul2x3x3()
+	mem := make([]float64, p.Layout.Size())
+	copy(mem[p.Layout.Base("a"):], a)
+	copy(mem[p.Layout.Base("b"):], bm)
+	res, err := sim.Run(p, mem, sim.Defaults())
+	if err != nil {
+		return nil, nil, err
+	}
+	cb := p.Layout.Base("c")
+	return append([]float64(nil), res.Mem[cb:cb+6]...), res, nil
+}

@@ -1,0 +1,57 @@
+package expert
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diospyros/internal/isa"
+	"diospyros/internal/kernels"
+)
+
+func TestExpertMatMulCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		a := make([]float64, 6)
+		b := make([]float64, 9)
+		for i := range a {
+			a[i] = r.Float64()*4 - 2
+		}
+		for i := range b {
+			b[i] = r.Float64()*4 - 2
+		}
+		got, _, err := Run(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := kernels.MatMulRef(2, 3, 3, a, b)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("c[%d] = %g, want %g", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExpertOperationMix(t *testing.T) {
+	// The paper reports the expert kernel uses exactly two vector
+	// multiplies and four multiply–accumulates.
+	p := MatMul2x3x3()
+	h := p.OpHistogram()
+	if h[isa.VMul] != 2 || h[isa.VMac] != 4 {
+		t.Fatalf("op mix: %d VMul, %d VMac; want 2 and 4", h[isa.VMul], h[isa.VMac])
+	}
+}
+
+func TestExpertCycleCount(t *testing.T) {
+	a := make([]float64, 6)
+	b := make([]float64, 9)
+	_, res, err := Run(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-tuned straight-line code: a few dozen cycles at most.
+	if res.Cycles <= 0 || res.Cycles > 60 {
+		t.Fatalf("expert kernel took %d cycles", res.Cycles)
+	}
+}

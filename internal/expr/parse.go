@@ -1,0 +1,248 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an s-expression in the syntax produced by (*Expr).String.
+// It accepts the full vector DSL of Figure 3.
+func Parse(src string) (*Expr, error) {
+	p := &sexpParser{src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("expr: trailing input at offset %d", p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; it is intended for tests and
+// package-internal constant expressions.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type sexpParser struct {
+	src string
+	pos int
+}
+
+func (p *sexpParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ';' { // comment to end of line
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *sexpParser) parseExpr() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("expr: unexpected end of input")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		return p.parseForm()
+	}
+	tok := p.token()
+	if tok == "" {
+		return nil, fmt.Errorf("expr: unexpected character %q at offset %d", p.src[p.pos], p.pos)
+	}
+	if v, err := strconv.ParseFloat(tok, 64); err == nil {
+		return Lit(v), nil
+	}
+	return Sym(tok), nil
+}
+
+func (p *sexpParser) token() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+var headOps = func() map[string]Op {
+	m := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (p *sexpParser) parseForm() (*Expr, error) {
+	p.skipSpace()
+	head := p.token()
+	if head == "" {
+		return nil, fmt.Errorf("expr: empty form head at offset %d", p.pos)
+	}
+	op, ok := headOps[head]
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown operator %q", head)
+	}
+	e := &Expr{Op: op}
+	switch op {
+	case OpGet:
+		p.skipSpace()
+		e.Sym = p.token()
+		if e.Sym == "" {
+			return nil, fmt.Errorf("expr: Get missing array name")
+		}
+		p.skipSpace()
+		idxTok := p.token()
+		idx, err := strconv.Atoi(idxTok)
+		if err != nil {
+			return nil, fmt.Errorf("expr: Get index %q: %v", idxTok, err)
+		}
+		e.Idx = idx
+	case OpFunc, OpVecFunc:
+		p.skipSpace()
+		e.Sym = p.token()
+		if e.Sym == "" {
+			return nil, fmt.Errorf("expr: %s missing function name", op)
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		e.Args = args
+	case OpLit, OpSym:
+		return nil, fmt.Errorf("expr: %q is not a form head", head)
+	default:
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		e.Args = args
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return nil, fmt.Errorf("expr: missing ')' for %s", head)
+	}
+	p.pos++
+	if err := checkArity(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *sexpParser) parseArgs() ([]*Expr, error) {
+	var args []*Expr
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("expr: unexpected end of input in form")
+		}
+		if p.src[p.pos] == ')' {
+			return args, nil
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+}
+
+// Arity returns the required argument count for fixed-arity operators and -1
+// for variadic operators (Vec, List, Func, VecFunc).
+func Arity(op Op) int {
+	switch op {
+	case OpLit, OpSym, OpGet:
+		return 0
+	case OpNeg, OpSqrt, OpSgn, OpVecNeg, OpVecSqrt, OpVecSgn:
+		return 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpConcat,
+		OpVecAdd, OpVecMinus, OpVecMul, OpVecDiv:
+		return 2
+	case OpVecMAC:
+		return 3
+	default:
+		return -1
+	}
+}
+
+func checkArity(e *Expr) error {
+	want := Arity(e.Op)
+	if want >= 0 && len(e.Args) != want {
+		return fmt.Errorf("expr: %s expects %d args, got %d", e.Op, want, len(e.Args))
+	}
+	if (e.Op == OpVec || e.Op == OpList) && len(e.Args) == 0 {
+		return fmt.Errorf("expr: %s expects at least one arg", e.Op)
+	}
+	return nil
+}
+
+// ParseList is a convenience for parsing several whitespace-separated
+// expressions (used by test fixtures).
+func ParseList(src string) ([]*Expr, error) {
+	p := &sexpParser{src: src}
+	var out []*Expr
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return out, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Pretty renders an expression with indentation, for diagnostics and the
+// compiler's -dump flags.
+func Pretty(e *Expr) string {
+	var b strings.Builder
+	pretty(&b, e, 0)
+	return b.String()
+}
+
+func pretty(b *strings.Builder, e *Expr, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if e == nil {
+		b.WriteString(indent + "<nil>\n")
+		return
+	}
+	switch e.Op {
+	case OpLit, OpSym, OpGet:
+		b.WriteString(indent + e.String() + "\n")
+	default:
+		if e.Size() <= 8 {
+			b.WriteString(indent + e.String() + "\n")
+			return
+		}
+		head := e.Op.String()
+		if e.Op == OpFunc || e.Op == OpVecFunc {
+			head += " " + e.Sym
+		}
+		b.WriteString(indent + "(" + head + "\n")
+		for _, a := range e.Args {
+			pretty(b, a, depth+1)
+		}
+		b.WriteString(indent + ")\n")
+	}
+}

@@ -1,0 +1,415 @@
+package frontend
+
+import (
+	"fmt"
+)
+
+// Parse parses a kernel definition from source and typechecks it.
+func Parse(src string) (*Kernel, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	k, err := p.parseKernel()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, errf(p.cur().pos, "unexpected %q after kernel", p.cur().text)
+	}
+	if err := Check(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustParse is Parse, panicking on error; for registered library kernels.
+func MustParse(src string) *Kernel {
+	k, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, errf(p.cur().pos, "expected %q, got %q", want, p.cur().text)
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseKernel() (*Kernel, error) {
+	start, err := p.eat(tokKeyword, "kernel")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.eat(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams(")")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tokPunct, "->"); err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	outs, err := p.parseParams(")")
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{Name: name.text, Params: params, Outs: outs, Body: body, Pos: start.pos}, nil
+}
+
+func (p *parser) parseParams(closer string) ([]Param, error) {
+	var out []Param
+	for {
+		if p.accept(tokPunct, closer) {
+			return out, nil
+		}
+		if len(out) > 0 {
+			if _, err := p.eat(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.eat(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		prm := Param{Name: name.text, Pos: name.pos}
+		for p.accept(tokPunct, "[") {
+			d, err := p.eat(tokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			if d.ival <= 0 {
+				return nil, errf(d.pos, "array dimension must be positive")
+			}
+			prm.Dims = append(prm.Dims, int(d.ival))
+			if _, err := p.eat(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if len(prm.Dims) == 0 || len(prm.Dims) > 2 {
+			return nil, errf(name.pos, "parameter %s must have 1 or 2 dimensions", name.text)
+		}
+		out = append(out, prm)
+	}
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if _, err := p.eat(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokPunct, "}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokKeyword, "for"):
+		p.pos++
+		v, err := p.eat(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tokKeyword, "in"); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tokPunct, ".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: v.text, Lo: lo, Hi: hi, Body: body, Pos: t.pos}, nil
+
+	case p.at(tokKeyword, "while"):
+		p.pos++
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.pos}, nil
+
+	case p.at(tokKeyword, "if"):
+		p.pos++
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els *Block
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = &Block{Stmts: []Stmt{s}}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: t.pos}, nil
+
+	case p.at(tokKeyword, "let"):
+		p.pos++
+		name, err := p.eat(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &LetStmt{Name: name.text, Val: val, Pos: t.pos}, nil
+
+	case p.at(tokKeyword, "var"):
+		p.pos++
+		name, err := p.eat(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st := &VarArrayStmt{Name: name.text, Pos: t.pos}
+		for p.accept(tokPunct, "[") {
+			d, err := p.eat(tokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			if d.ival <= 0 {
+				return nil, errf(d.pos, "array dimension must be positive")
+			}
+			st.Dims = append(st.Dims, int(d.ival))
+			if _, err := p.eat(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if len(st.Dims) == 0 || len(st.Dims) > 2 {
+			return nil, errf(t.pos, "var array must have 1 or 2 dimensions")
+		}
+		if _, err := p.eat(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case p.at(tokIdent, ""):
+		name := t
+		p.pos++
+		var indices []Expr
+		for p.accept(tokPunct, "[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			indices = append(indices, idx)
+			if _, err := p.eat(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.eat(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.text, Indices: indices, Val: val, Pos: t.pos}, nil
+	}
+	return nil, errf(t.pos, "expected statement, got %q", t.text)
+}
+
+// Expression parsing: precedence climbing.
+// || < && < comparisons < + - < * / % < unary < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinLevel([]string{"||"}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinLevel([]string{"&&"}, p.parseCmp)
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	return p.parseBinLevel([]string{"<", "<=", ">", ">=", "==", "!="}, p.parseAdd)
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	return p.parseBinLevel([]string{"+", "-"}, p.parseMul)
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	return p.parseBinLevel([]string{"*", "/", "%"}, p.parseUnary)
+}
+
+func (p *parser) parseBinLevel(ops []string, next func() (Expr, error)) (Expr, error) {
+	l, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(tokPunct, op) {
+				pos := p.cur().pos
+				p.pos++
+				r, err := next()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{exprBase: exprBase{Pos: pos}, Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if p.at(tokPunct, "-") || p.at(tokPunct, "!") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{exprBase: exprBase{Pos: t.pos}, Op: t.text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.pos++
+		return &NumLit{exprBase: exprBase{Pos: t.pos}, I: t.ival, IsInt: true}, nil
+	case t.kind == tokFloat:
+		p.pos++
+		return &NumLit{exprBase: exprBase{Pos: t.pos}, F: t.fval}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.pos++
+		// Call?
+		if p.accept(tokPunct, "(") {
+			var args []Expr
+			for !p.accept(tokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.eat(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			return &CallExpr{exprBase: exprBase{Pos: t.pos}, Name: t.text, Args: args}, nil
+		}
+		// Index?
+		var indices []Expr
+		for p.accept(tokPunct, "[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			indices = append(indices, idx)
+			if _, err := p.eat(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if len(indices) > 0 {
+			return &IndexExpr{exprBase: exprBase{Pos: t.pos}, Name: t.text, Indices: indices}, nil
+		}
+		return &VarRef{exprBase: exprBase{Pos: t.pos}, Name: t.text}, nil
+	}
+	return nil, errf(t.pos, "expected expression, got %q", t.text)
+}

@@ -1,0 +1,72 @@
+// Package kcc is the baseline kernel compiler: it compiles imperative
+// frontend kernels to FG3-lite scalar code, standing in for the vendor's
+// xt-xcc C compiler in the paper's evaluation (§5.2).
+//
+// Two modes reproduce the paper's two loop-nest baselines:
+//
+//   - Parametric ("Naive"): structured code with runtime loop bounds and
+//     runtime index arithmetic, exactly what a compiler emits for
+//     size-generic code. Every iteration pays loop-counter updates,
+//     address computation, and branch overhead.
+//   - FixedSize ("Naive (fixed size)"): bounds are compile-time constants,
+//     so loops are fully unrolled, all indices constant-folded, each input
+//     element is loaded once, and output elements are promoted to
+//     registers until a final store — the effect of `-O3` on kernels with
+//     #define'd sizes. Repeated arithmetic is *not* globally value
+//     numbered; that additional CSE is what Diospyros's symbolic
+//     evaluation provides on top (§5.6).
+//
+// FixedSize requires input-independent control flow (like lifting);
+// kernels with data-dependent branches (e.g. iterative library routines)
+// compile in Parametric mode only.
+package kcc
+
+import (
+	"fmt"
+
+	"diospyros/internal/frontend"
+	"diospyros/internal/isa"
+)
+
+// Mode selects the compilation strategy.
+type Mode int
+
+const (
+	// Parametric keeps loops and computes indices at run time.
+	Parametric Mode = iota
+	// FixedSize fully unrolls and constant-folds control flow.
+	FixedSize
+)
+
+func (m Mode) String() string {
+	if m == FixedSize {
+		return "fixed-size"
+	}
+	return "parametric"
+}
+
+// Compile compiles a typed kernel to FG3-lite.
+func Compile(k *frontend.Kernel, mode Mode) (*isa.Program, error) {
+	lay := isa.NewLayout()
+	pad := func(n int) int { return (n + isa.Width - 1) / isa.Width * isa.Width }
+	for _, p := range k.Params {
+		lay.Add(p.Name, pad(p.Len()))
+	}
+	for _, p := range k.Outs {
+		lay.Add(p.Name, pad(p.Len()))
+	}
+	name := fmt.Sprintf("%s_%s", k.Name, mode)
+	b := isa.NewBuilder(name, lay)
+	if mode == FixedSize {
+		c := newUnroller(k, b)
+		if err := c.run(); err != nil {
+			return nil, err
+		}
+	} else {
+		c := newStructured(k, b)
+		if err := c.run(); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,178 @@
+// Package kernels defines the benchmark kernels of the paper's evaluation
+// (Table 1): fixed-size 2-D convolution, matrix multiply, quaternion
+// (Euclidean Lie group) product, and QR decomposition — each as a scalar
+// reference implementation over the symbolic kernel builder, which lifts it
+// to the vector DSL, plus plain float64 references for differential testing.
+package kernels
+
+import (
+	"fmt"
+
+	"diospyros/internal/kernel"
+)
+
+// MatMul lifts an m×n by n×p matrix multiply.
+func MatMul(m, n, p int) *kernel.Lifted {
+	b := kernel.NewBuilder(fmt.Sprintf("matmul_%dx%d_%dx%d", m, n, n, p))
+	A := b.Input("a", m, n)
+	B := b.Input("b", n, p)
+	C := b.Output("c", m, p)
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			acc := kernel.Const(0)
+			for k := 0; k < n; k++ {
+				acc = kernel.Add(acc, kernel.Mul(A.At(i, k), B.At(k, j)))
+			}
+			C.Set(i, j, acc)
+		}
+	}
+	return b.Lift()
+}
+
+// MatMulRef computes the same product over concrete data (row-major).
+func MatMulRef(m, n, p int, a, b []float64) []float64 {
+	c := make([]float64, m*p)
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*p+j]
+			}
+			c[i*p+j] = s
+		}
+	}
+	return c
+}
+
+// Conv2D lifts the paper's §2 motivating kernel: 2-D convolution of an
+// ir×ic input with an fr×fc filter, producing a padded
+// (ir+fr−1)×(ic+fc−1) output. The filter transposition (fRT, fCT) and the
+// boundary-condition if mirror the paper's C code exactly.
+func Conv2D(ir, ic, fr, fc int) *kernel.Lifted {
+	b := kernel.NewBuilder(fmt.Sprintf("conv2d_%dx%d_%dx%d", ir, ic, fr, fc))
+	in := b.Input("i", ir, ic)
+	f := b.Input("f", fr, fc)
+	oRows, oCols := ir+fr-1, ic+fc-1
+	out := b.Output("o", oRows, oCols)
+	for oRow := 0; oRow < oRows; oRow++ {
+		for oCol := 0; oCol < oCols; oCol++ {
+			for fRow := 0; fRow < fr; fRow++ {
+				for fCol := 0; fCol < fc; fCol++ {
+					fRT := fr - 1 - fRow
+					fCT := fc - 1 - fCol
+					iRow := oRow - fRT
+					iCol := oCol - fCT
+					if iRow >= 0 && iRow < ir && iCol >= 0 && iCol < ic {
+						out.Set(oRow, oCol, kernel.Add(out.At(oRow, oCol),
+							kernel.Mul(in.At(iRow, iCol), f.At(fRT, fCT))))
+					}
+				}
+			}
+		}
+	}
+	return b.Lift()
+}
+
+// Conv2DRef computes the same convolution over concrete data.
+func Conv2DRef(ir, ic, fr, fc int, in, f []float64) []float64 {
+	oRows, oCols := ir+fr-1, ic+fc-1
+	out := make([]float64, oRows*oCols)
+	for oRow := 0; oRow < oRows; oRow++ {
+		for oCol := 0; oCol < oCols; oCol++ {
+			for fRow := 0; fRow < fr; fRow++ {
+				for fCol := 0; fCol < fc; fCol++ {
+					fRT := fr - 1 - fRow
+					fCT := fc - 1 - fCol
+					iRow := oRow - fRT
+					iCol := oCol - fCT
+					if iRow >= 0 && iRow < ir && iCol >= 0 && iCol < ic {
+						out[oRow*oCols+oCol] += in[iRow*ic+iCol] * f[fRT*fc+fCT]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QProd lifts the Euclidean Lie group product (paper §5.3): the product of
+// two rigid transforms represented as quaternion+translation pairs
+// (q1, t1)·(q2, t2) = (q1⊗q2, q1·t2 + t1), where q1·t2 rotates t2 by q1.
+// Quaternions are stored (w, x, y, z). Sizes: 4, 3, 4, 3.
+func QProd() *kernel.Lifted {
+	b := kernel.NewBuilder("qprod")
+	q1 := b.InputVec("aq", 4)
+	t1 := b.InputVec("at", 3)
+	q2 := b.InputVec("bq", 4)
+	t2 := b.InputVec("bt", 3)
+	qo := b.OutputVec("rq", 4)
+	to := b.OutputVec("rt", 3)
+
+	w1, x1, y1, z1 := q1.AtVec(0), q1.AtVec(1), q1.AtVec(2), q1.AtVec(3)
+	w2, x2, y2, z2 := q2.AtVec(0), q2.AtVec(1), q2.AtVec(2), q2.AtVec(3)
+	add, sub, mul := kernel.Add, kernel.Sub, kernel.Mul
+
+	// Hamilton product q1 ⊗ q2.
+	qo.SetVec(0, sub(sub(sub(mul(w1, w2), mul(x1, x2)), mul(y1, y2)), mul(z1, z2)))
+	qo.SetVec(1, add(add(sub(mul(w1, x2), mul(z1, y2)), mul(x1, w2)), mul(y1, z2)))
+	qo.SetVec(2, add(add(sub(mul(w1, y2), mul(x1, z2)), mul(y1, w2)), mul(z1, x2)))
+	qo.SetVec(3, add(sub(add(mul(w1, z2), mul(x1, y2)), mul(y1, x2)), mul(z1, w2)))
+
+	// Rotate t2 by q1: t' = t2 + 2*(u × (u × t2 + w1*t2)), u = (x1,y1,z1),
+	// then translate by t1.
+	u := [3]kernel.Scalar{x1, y1, z1}
+	t := [3]kernel.Scalar{t2.AtVec(0), t2.AtVec(1), t2.AtVec(2)}
+	cross := func(a, b [3]kernel.Scalar) [3]kernel.Scalar {
+		return [3]kernel.Scalar{
+			sub(mul(a[1], b[2]), mul(a[2], b[1])),
+			sub(mul(a[2], b[0]), mul(a[0], b[2])),
+			sub(mul(a[0], b[1]), mul(a[1], b[0])),
+		}
+	}
+	var wt [3]kernel.Scalar
+	for i := range wt {
+		wt[i] = mul(w1, t[i])
+	}
+	inner := cross(u, t)
+	for i := range inner {
+		inner[i] = add(inner[i], wt[i])
+	}
+	outer := cross(u, inner)
+	two := kernel.Const(2)
+	for i := 0; i < 3; i++ {
+		to.SetVec(i, add(add(t[i], mul(two, outer[i])), t1.AtVec(i)))
+	}
+	return b.Lift()
+}
+
+// QProdRef computes the Euclidean Lie group product over concrete data.
+// Layout matches QProd: q = (w, x, y, z).
+func QProdRef(aq, at, bq, bt []float64) (rq, rt []float64) {
+	w1, x1, y1, z1 := aq[0], aq[1], aq[2], aq[3]
+	w2, x2, y2, z2 := bq[0], bq[1], bq[2], bq[3]
+	rq = []float64{
+		w1*w2 - x1*x2 - y1*y2 - z1*z2,
+		w1*x2 - z1*y2 + x1*w2 + y1*z2,
+		w1*y2 - x1*z2 + y1*w2 + z1*x2,
+		w1*z2 + x1*y2 - y1*x2 + z1*w2,
+	}
+	u := []float64{x1, y1, z1}
+	t := bt
+	cross := func(a, b []float64) []float64 {
+		return []float64{
+			a[1]*b[2] - a[2]*b[1],
+			a[2]*b[0] - a[0]*b[2],
+			a[0]*b[1] - a[1]*b[0],
+		}
+	}
+	inner := cross(u, t)
+	for i := range inner {
+		inner[i] += w1 * t[i]
+	}
+	outer := cross(u, inner)
+	rt = make([]float64, 3)
+	for i := range rt {
+		rt[i] = t[i] + 2*outer[i] + at[i]
+	}
+	return rq, rt
+}

@@ -1,0 +1,209 @@
+package lower
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diospyros/internal/expr"
+	"diospyros/internal/kernel"
+	"diospyros/internal/vir"
+)
+
+func lifted(name string, ins map[string]int, outs map[string]int, spec string) *kernel.Lifted {
+	l := &kernel.Lifted{Name: name, Spec: expr.MustParse(spec)}
+	for n, sz := range ins {
+		l.Inputs = append(l.Inputs, kernel.ArrayDecl{Name: n, Rows: sz, Cols: 1})
+	}
+	for n, sz := range outs {
+		l.Outputs = append(l.Outputs, kernel.ArrayDecl{Name: n, Rows: sz, Cols: 1})
+	}
+	return l
+}
+
+// lowerAndRun lowers a program and compares the IR interpreter against the
+// spec's own evaluation.
+func lowerAndRun(t *testing.T, l *kernel.Lifted, prog string, seed int64) *vir.Program {
+	t.Helper()
+	p, err := Lower(l.Name, expr.MustParse(prog), 4, l)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	p = vir.Optimize(p)
+	r := rand.New(rand.NewSource(seed))
+	inputs := map[string][]float64{}
+	env := expr.NewEnv()
+	for _, d := range l.Inputs {
+		s := make([]float64, d.Len())
+		for i := range s {
+			s[i] = r.Float64()*4 - 2
+		}
+		inputs[d.Name] = s
+		env.Arrays[d.Name] = s
+	}
+	got, err := vir.Interp(p, inputs, nil)
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, p)
+	}
+	want, err := expr.MustParse(prog).Eval(env)
+	if err != nil {
+		t.Fatalf("spec eval: %v", err)
+	}
+	flat := want.AsSlice()
+	idx := 0
+	for _, d := range l.Outputs {
+		for i := 0; i < d.Len(); i++ {
+			if math.Abs(got[d.Name][i]-flat[idx]) > 1e-12 {
+				t.Fatalf("%s[%d] = %g, want %g\n%s", d.Name, i, got[d.Name][i], flat[idx], p)
+			}
+			idx++
+		}
+	}
+	return p
+}
+
+func countOps(p *vir.Program, ops ...vir.Op) int {
+	n := 0
+	for _, in := range p.Instrs {
+		for _, op := range ops {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestContiguousVecIsOneLoad(t *testing.T) {
+	l := lifted("contig", map[string]int{"a": 8}, map[string]int{"c": 4},
+		"(Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3))")
+	p := lowerAndRun(t, l, "(Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3))", 1)
+	if countOps(p, vir.LoadV) != 1 || countOps(p, vir.Shuffle, vir.Select) != 0 {
+		t.Fatalf("contiguous Vec not a single load:\n%s", p)
+	}
+}
+
+func TestUnalignedContiguousIsOneLoad(t *testing.T) {
+	l := lifted("unaligned", map[string]int{"a": 8}, map[string]int{"c": 4},
+		"(Vec (Get a 3) (Get a 4) (Get a 5) (Get a 6))")
+	p := lowerAndRun(t, l, "(Vec (Get a 3) (Get a 4) (Get a 5) (Get a 6))", 2)
+	if countOps(p, vir.LoadV) != 1 || countOps(p, vir.Shuffle, vir.Select) != 0 {
+		t.Fatalf("unaligned run not a single load:\n%s", p)
+	}
+}
+
+func TestSingleWindowGatherIsShuffle(t *testing.T) {
+	l := lifted("gather", map[string]int{"a": 4}, map[string]int{"c": 4},
+		"(Vec (Get a 3) (Get a 0) (Get a 2) (Get a 1))")
+	p := lowerAndRun(t, l, "(Vec (Get a 3) (Get a 0) (Get a 2) (Get a 1))", 3)
+	if countOps(p, vir.LoadV) != 1 || countOps(p, vir.Shuffle) != 1 || countOps(p, vir.Select) != 0 {
+		t.Fatalf("single-window gather should be load+shuffle:\n%s", p)
+	}
+}
+
+func TestTwoWindowGatherIsSelect(t *testing.T) {
+	l := lifted("sel", map[string]int{"a": 8}, map[string]int{"c": 4},
+		"(Vec (Get a 1) (Get a 6) (Get a 2) (Get a 5))")
+	p := lowerAndRun(t, l, "(Vec (Get a 1) (Get a 6) (Get a 2) (Get a 5))", 4)
+	if countOps(p, vir.LoadV) != 2 || countOps(p, vir.Select) != 1 {
+		t.Fatalf("two-window gather should be 2 loads + select:\n%s", p)
+	}
+}
+
+func TestThreeWindowGatherNestsSelects(t *testing.T) {
+	l := lifted("nest", map[string]int{"a": 12}, map[string]int{"c": 4},
+		"(Vec (Get a 1) (Get a 6) (Get a 9) (Get a 2))")
+	p := lowerAndRun(t, l, "(Vec (Get a 1) (Get a 6) (Get a 9) (Get a 2))", 5)
+	if countOps(p, vir.LoadV) != 3 || countOps(p, vir.Select) != 2 {
+		t.Fatalf("three-window gather should be 3 loads + 2 nested selects:\n%s", p)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	// A Vec of four identical lane pointers becomes a splat.
+	g := expr.Get("a", 2)
+	l := lifted("splat", map[string]int{"a": 4}, map[string]int{"c": 4}, "(Vec 0 0 0 0)")
+	p, err := Lower("splat", expr.Vec(g, g, g, g), 4, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = vir.Optimize(p)
+	if countOps(p, vir.Splat) != 1 {
+		t.Fatalf("identical lanes not splat:\n%s", p)
+	}
+}
+
+func TestScalarLaneInsert(t *testing.T) {
+	prog := "(Vec (Get a 0) (+ (Get a 1) (Get a 2)) (Get a 2) (Get a 3))"
+	l := lifted("ins", map[string]int{"a": 4}, map[string]int{"c": 4}, prog)
+	p := lowerAndRun(t, l, prog, 6)
+	if countOps(p, vir.Insert) != 1 {
+		t.Fatalf("computed lane should use one insert:\n%s", p)
+	}
+}
+
+func TestScalarListProgram(t *testing.T) {
+	prog := "(List (+ (Get a 0) (Get a 1)) (* (Get a 2) (Get a 3)))"
+	l := lifted("scalars", map[string]int{"a": 4}, map[string]int{"c": 2}, prog)
+	p := lowerAndRun(t, l, prog, 7)
+	if countOps(p, vir.StoreS) != 2 {
+		t.Fatalf("scalar program should emit scalar stores:\n%s", p)
+	}
+}
+
+func TestChunkStoreStraddlesOutputs(t *testing.T) {
+	// Two outputs of 3 and 5 elements: chunk 0 covers q[0..2]+r[0],
+	// chunk 1 covers r[1..4].
+	prog := "(Concat (Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3)) (Vec (Get a 4) (Get a 5) (Get a 6) (Get a 7)))"
+	l := &kernel.Lifted{Name: "straddle", Spec: expr.MustParse("(List 0)")}
+	l.Inputs = []kernel.ArrayDecl{{Name: "a", Rows: 8, Cols: 1}}
+	l.Outputs = []kernel.ArrayDecl{{Name: "q", Rows: 3, Cols: 1}, {Name: "r", Rows: 5, Cols: 1}}
+	p, err := Lower("straddle", expr.MustParse(prog), 4, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = vir.Optimize(p)
+	inputs := map[string][]float64{"a": {10, 11, 12, 13, 14, 15, 16, 17}}
+	got, err := vir.Interp(p, inputs, nil)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	wantQ := []float64{10, 11, 12}
+	wantR := []float64{13, 14, 15, 16, 17}
+	for i := range wantQ {
+		if got["q"][i] != wantQ[i] {
+			t.Fatalf("q[%d] = %g", i, got["q"][i])
+		}
+	}
+	for i := range wantR {
+		if got["r"][i] != wantR[i] {
+			t.Fatalf("r[%d] = %g", i, got["r"][i])
+		}
+	}
+}
+
+func TestDeadLanesCostNothing(t *testing.T) {
+	// Only 2 of 4 lanes are stored; the zero padding in the upper lanes
+	// must not generate any extra data movement.
+	prog := "(VecAdd (Vec (Get a 0) (Get a 1) 0 0) (Vec (Get a 2) (Get a 3) 0 0))"
+	l := lifted("dead", map[string]int{"a": 4}, map[string]int{"c": 2}, prog)
+	p := lowerAndRun(t, l, prog, 8)
+	if n := countOps(p, vir.Select, vir.ConstV); n != 0 {
+		t.Fatalf("dead-lane zeros generated %d movement ops:\n%s", n, p)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	l := lifted("err", map[string]int{"a": 4}, map[string]int{"c": 4}, "(List 0)")
+	bad := []string{
+		"(List 1 2)",                     // wrong element count
+		"(Vec (Get a 0) (Get a 1))",      // wrong lane count
+		"(VecAdd (List 1 2) (List 1 2))", // non-vector operand (List inside)
+		"x",                              // free symbol
+	}
+	for _, src := range bad {
+		if _, err := Lower("err", expr.MustParse(src), 4, l); err == nil {
+			t.Errorf("Lower(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package lower
+
+import (
+	"sort"
+
+	"diospyros/internal/expr"
+	"diospyros/internal/vir"
+)
+
+// planVec materializes a Vec term: W lanes, each an arbitrary scalar
+// expression. The planner picks the cheapest movement strategy available:
+//
+//  1. all-literal lanes            → one constant vector;
+//  2. all lanes the same value     → broadcast;
+//  3. contiguous run of one array  → one (possibly unaligned) vector load;
+//  4. lanes from k aligned windows → k loads merged by a shuffle (k=1),
+//     a select (k=2), or a chain of nested selects (k>2), exactly the
+//     paper's PDX_SHFL / PDX_SEL / nested-select scheme;
+//  5. computed lanes               → scalar code + lane inserts on top.
+//
+// Literal lanes ride along in their own constant-vector source. Arrays are
+// width-padded in memory, so the aligned window containing any valid
+// element can always be loaded whole.
+//
+// Lanes with index ≥ live are padding that no store ever reads; the planner
+// treats them as don't-care and spends no data movement on them.
+func (lw *lowerer) planVec(lanes []*expr.Expr, live int) (vir.ID, error) {
+	w := lw.width
+	if live <= 0 || live > w {
+		live = w
+	}
+	liveLanes := lanes[:live]
+
+	// Case 1: constant vector.
+	allLit := true
+	for _, l := range liveLanes {
+		if l.Op != expr.OpLit {
+			allLit = false
+			break
+		}
+	}
+	if allLit {
+		vals := make([]float64, w)
+		for k, l := range liveLanes {
+			vals[k] = l.Lit
+		}
+		return lw.prog.Emit(vir.Instr{Op: vir.ConstV, Fs: vals}), nil
+	}
+
+	// Case 2: broadcast. Extraction shares equal subterms, so identical
+	// lanes are pointer-identical.
+	same := true
+	for _, l := range liveLanes[1:] {
+		if l != liveLanes[0] {
+			same = false
+			break
+		}
+	}
+	if same && liveLanes[0].Op != expr.OpLit {
+		s, err := lw.scalar(liveLanes[0])
+		if err != nil {
+			return 0, err
+		}
+		return lw.prog.Emit(vir.Instr{Op: vir.Splat, Args: []vir.ID{s}}), nil
+	}
+
+	// Case 3: one contiguous run of a single array.
+	if liveLanes[0].Op == expr.OpGet {
+		arr, base := liveLanes[0].Sym, liveLanes[0].Idx
+		contig := true
+		for k, l := range liveLanes {
+			if l.Op != expr.OpGet || l.Sym != arr || l.Idx != base+k {
+				contig = false
+				break
+			}
+		}
+		if contig {
+			return lw.prog.Emit(vir.Instr{Op: vir.LoadV, Array: arr, Off: base}), nil
+		}
+	}
+
+	// General plan: classify live lanes.
+	type winKey struct {
+		arr string
+		win int
+	}
+	type getLane struct{ lane, idx int }
+	windows := map[winKey][]getLane{}
+	litLanes := map[int]float64{}
+	scalarLanes := map[int]*expr.Expr{}
+	for k, l := range liveLanes {
+		switch l.Op {
+		case expr.OpGet:
+			win := l.Idx / w * w
+			key := winKey{arr: l.Sym, win: win}
+			windows[key] = append(windows[key], getLane{lane: k, idx: l.Idx - win})
+		case expr.OpLit:
+			litLanes[k] = l.Lit
+		default:
+			scalarLanes[k] = l
+		}
+	}
+	winKeys := make([]winKey, 0, len(windows))
+	for key := range windows {
+		winKeys = append(winKeys, key)
+	}
+	sort.Slice(winKeys, func(i, j int) bool {
+		if winKeys[i].arr != winKeys[j].arr {
+			return winKeys[i].arr < winKeys[j].arr
+		}
+		return winKeys[i].win < winKeys[j].win
+	})
+
+	// source: a loadable vector that provides some final lanes.
+	type source struct {
+		emit     func() (vir.ID, error)
+		provides map[int]int // final lane -> source lane
+	}
+	var sources []source
+	for _, key := range winKeys {
+		prov := map[int]int{}
+		for _, g := range windows[key] {
+			prov[g.lane] = g.idx
+		}
+		a, wn := key.arr, key.win
+		sources = append(sources, source{
+			emit: func() (vir.ID, error) {
+				return lw.prog.Emit(vir.Instr{Op: vir.LoadV, Array: a, Off: wn}), nil
+			},
+			provides: prov,
+		})
+	}
+	if len(litLanes) > 0 {
+		vals := make([]float64, w)
+		prov := map[int]int{}
+		for k, v := range litLanes {
+			vals[k] = v
+			prov[k] = k
+		}
+		sources = append(sources, source{
+			emit: func() (vir.ID, error) {
+				return lw.prog.Emit(vir.Instr{Op: vir.ConstV, Fs: vals}), nil
+			},
+			provides: prov,
+		})
+	}
+
+	var cur vir.ID
+	haveCur := false
+
+	if len(sources) > 0 {
+		// First source: shuffle its lanes into final position (skipping
+		// the shuffle when they are already in place).
+		first := sources[0]
+		id, err := first.emit()
+		if err != nil {
+			return 0, err
+		}
+		identity := true
+		idx := make([]int, w)
+		for k := 0; k < w; k++ {
+			if src, ok := first.provides[k]; ok {
+				idx[k] = src
+				if src != k {
+					identity = false
+				}
+			} else {
+				idx[k] = 0 // don't-care lane
+			}
+		}
+		cur = id
+		if !identity {
+			cur = lw.prog.Emit(vir.Instr{Op: vir.Shuffle, Args: []vir.ID{id}, Idx: idx})
+		}
+		haveCur = true
+
+		// Remaining sources: nested selects.
+		for _, src := range sources[1:] {
+			id, err := src.emit()
+			if err != nil {
+				return 0, err
+			}
+			idx := make([]int, w)
+			for k := 0; k < w; k++ {
+				if s, ok := src.provides[k]; ok {
+					idx[k] = w + s
+				} else {
+					idx[k] = k // keep lanes already in cur
+				}
+			}
+			cur = lw.prog.Emit(vir.Instr{Op: vir.Select, Args: []vir.ID{cur, id}, Idx: idx})
+		}
+	}
+
+	if !haveCur {
+		// Every lane is computed: start from a zero vector.
+		cur = lw.prog.Emit(vir.Instr{Op: vir.ConstV, Fs: make([]float64, w)})
+	}
+
+	// Insert computed lanes in deterministic order.
+	var compLanes []int
+	for k := range scalarLanes {
+		compLanes = append(compLanes, k)
+	}
+	sort.Ints(compLanes)
+	for _, k := range compLanes {
+		s, err := lw.scalar(scalarLanes[k])
+		if err != nil {
+			return 0, err
+		}
+		cur = lw.prog.Emit(vir.Instr{Op: vir.Insert, Args: []vir.ID{cur, s}, Lane: k})
+	}
+	return cur, nil
+}

@@ -1,0 +1,114 @@
+package nature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diospyros/internal/kernels"
+)
+
+func randSlice(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.Float64()*4 - 2
+	}
+	return s
+}
+
+func TestMatMulAgainstRef(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, sz := range [][3]int{{2, 2, 2}, {2, 3, 3}, {3, 3, 3}, {4, 4, 4}, {5, 7, 3}, {8, 8, 8}, {10, 10, 10}, {16, 16, 16}} {
+		m, n, p := sz[0], sz[1], sz[2]
+		prog := MatMul(m, n, p)
+		a := randSlice(r, m*n)
+		b := randSlice(r, n*p)
+		out, res, err := Run(prog, map[string][]float64{"a": a, "b": b}, []int{m, n, p})
+		if err != nil {
+			t.Fatalf("matmul %v: %v", sz, err)
+		}
+		want := kernels.MatMulRef(m, n, p, a, b)
+		for i := range want {
+			if math.Abs(out["c"][i]-want[i]) > 1e-9 {
+				t.Fatalf("matmul %v: c[%d] = %g, want %g", sz, i, out["c"][i], want[i])
+			}
+		}
+		if res.Cycles <= 0 {
+			t.Fatal("no cycles recorded")
+		}
+	}
+}
+
+func TestMatMulIsGenericOverSizes(t *testing.T) {
+	// One compiled routine (sized for 16×16) must serve smaller calls too,
+	// like a real library function.
+	prog := MatMul(16, 16, 16)
+	r := rand.New(rand.NewSource(2))
+	for _, sz := range [][3]int{{2, 2, 2}, {3, 3, 3}, {10, 10, 10}} {
+		m, n, p := sz[0], sz[1], sz[2]
+		a := randSlice(r, m*n)
+		b := randSlice(r, n*p)
+		out, _, err := Run(prog, map[string][]float64{"a": a, "b": b}, []int{m, n, p})
+		if err != nil {
+			t.Fatalf("%v: %v", sz, err)
+		}
+		want := kernels.MatMulRef(m, n, p, a, b)
+		for i := range want {
+			if math.Abs(out["c"][i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: c[%d] = %g, want %g", sz, i, out["c"][i], want[i])
+			}
+		}
+	}
+}
+
+func TestConv2DAgainstRef(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, sz := range [][4]int{{3, 3, 2, 2}, {3, 5, 3, 3}, {4, 4, 3, 3}, {8, 8, 3, 3}, {10, 10, 4, 4}, {16, 16, 4, 4}} {
+		ir, ic, fr, fc := sz[0], sz[1], sz[2], sz[3]
+		prog := Conv2D(ir, ic, fr, fc)
+		in := randSlice(r, ir*ic)
+		f := randSlice(r, fr*fc)
+		out, _, err := Run(prog, map[string][]float64{"i": in, "f": f}, []int{ir, ic, fr, fc})
+		if err != nil {
+			t.Fatalf("conv %v: %v", sz, err)
+		}
+		want := kernels.Conv2DRef(ir, ic, fr, fc, in, f)
+		for i := range want {
+			if math.Abs(out["o"][i]-want[i]) > 1e-9 {
+				t.Fatalf("conv %v: o[%d] = %g, want %g", sz, i, out["o"][i], want[i])
+			}
+		}
+	}
+}
+
+func TestVectorizedBeatsNothing(t *testing.T) {
+	// Sanity: larger sizes take more cycles.
+	prog := MatMul(16, 16, 16)
+	r := rand.New(rand.NewSource(4))
+	var last int64
+	for _, n := range []int{2, 4, 8, 16} {
+		a := randSlice(r, n*n)
+		b := randSlice(r, n*n)
+		_, res, err := Run(prog, map[string][]float64{"a": a, "b": b}, []int{n, n, n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles <= last {
+			t.Fatalf("cycles not increasing with size: %d then %d", last, res.Cycles)
+		}
+		last = res.Cycles
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	prog := MatMul(2, 2, 2)
+	if _, _, err := Run(prog, map[string][]float64{"zzz": {1}}, []int{2, 2, 2}); err == nil {
+		t.Error("unknown operand accepted")
+	}
+	if _, _, err := Run(prog, map[string][]float64{"a": make([]float64, 99)}, []int{2, 2, 2}); err == nil {
+		t.Error("oversized operand accepted")
+	}
+	if _, _, err := Run(prog, nil, []int{1, 2, 3, 4, 5}); err == nil {
+		t.Error("too many params accepted")
+	}
+}

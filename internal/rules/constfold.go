@@ -1,0 +1,98 @@
+package rules
+
+import (
+	"math"
+
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+)
+
+// constFoldRule folds scalar arithmetic over literal operands, e.g.
+// (+ 2 3) ⇝ 5. It skips foldings whose result is not a finite real
+// (division by zero, sqrt of a negative), keeping every rewrite sound.
+type constFoldRule struct{}
+
+func (constFoldRule) Name() string { return "const-fold" }
+
+type foldMatch struct{ value float64 }
+
+// classLit returns a literal in the class, if any.
+func classLit(g *egraph.EGraph, id egraph.ClassID) (float64, bool) {
+	cls := g.Class(id)
+	if cls == nil {
+		return 0, false
+	}
+	for _, n := range cls.Nodes {
+		if n.Op == expr.OpLit {
+			return n.Lit, true
+		}
+	}
+	return 0, false
+}
+
+func (constFoldRule) Search(g *egraph.EGraph) []egraph.Match {
+	var out []egraph.Match
+	g.Classes(func(cls *egraph.EClass) {
+		// One folding per class is enough: all its nodes are equal, so a
+		// class that already holds a literal needs no further folding.
+		if _, already := classLit(g, cls.ID); already {
+			return
+		}
+		for _, n := range cls.Nodes {
+			v, ok := foldNode(g, n)
+			if !ok {
+				continue
+			}
+			out = append(out, egraph.Match{Class: cls.ID, Data: foldMatch{value: v}})
+			break
+		}
+	})
+	return out
+}
+
+func foldNode(g *egraph.EGraph, n egraph.ENode) (float64, bool) {
+	var vals []float64
+	for _, a := range n.Args {
+		v, ok := classLit(g, a)
+		if !ok {
+			return 0, false
+		}
+		vals = append(vals, v)
+	}
+	var v float64
+	switch n.Op {
+	case expr.OpAdd:
+		v = vals[0] + vals[1]
+	case expr.OpSub:
+		v = vals[0] - vals[1]
+	case expr.OpMul:
+		v = vals[0] * vals[1]
+	case expr.OpDiv:
+		if vals[1] == 0 {
+			return 0, false
+		}
+		v = vals[0] / vals[1]
+	case expr.OpNeg:
+		v = -vals[0]
+	case expr.OpSqrt:
+		if vals[0] < 0 {
+			return 0, false
+		}
+		v = math.Sqrt(vals[0])
+	case expr.OpSgn:
+		v = expr.Sign(vals[0])
+	default:
+		return 0, false
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+func (constFoldRule) Apply(g *egraph.EGraph, m egraph.Match) bool {
+	fm := m.Data.(foldMatch)
+	id := g.AddLit(fm.value)
+	_, changed := g.Union(m.Class, id)
+	return changed
+}

@@ -1,0 +1,114 @@
+// Package rules defines Diospyros's rewrite-rule families (paper §3.2–3.3):
+//
+//   - list chunking: a List output is equivalent to a Concat of
+//     machine-width Vecs, padding the tail with zeros;
+//   - lane-wise vectorization: a Vec whose lanes are all applications of the
+//     same scalar operator (some lanes may be the constant 0) is equivalent
+//     to the corresponding vector operation over Vecs of the operands;
+//   - fused multiply–accumulate: a custom searcher that matches each lane
+//     against (+ a (* b c)), (+ (* b c) a), (* b c), or 0 and combines the
+//     per-lane results into a VecMAC — the paper's workaround for the
+//     NP-complete AC-matching problem;
+//   - scalar simplifications and constant folding;
+//   - optional full associativity/commutativity rules (disabled by default,
+//     as in the paper's evaluation).
+package rules
+
+import (
+	"diospyros/internal/egraph"
+)
+
+// Config selects and parameterizes the rule set.
+type Config struct {
+	// Width is the machine vector width (lanes per Vec). The Fusion G3
+	// target of the paper has Width 4.
+	Width int
+
+	// EnableAC turns on full associativity/commutativity rules for + and *.
+	// As §3.3 discusses, these blow up the e-graph; they are off by default
+	// and partially recovered by the custom searchers.
+	EnableAC bool
+
+	// DisableVector removes every vector-introducing rule, leaving scalar
+	// simplification and CSE only (the §5.6 ablation).
+	DisableVector bool
+
+	// MaxLaneAlts caps how many alternative decompositions are considered
+	// per lane in the custom searchers. 0 means the default (2).
+	MaxLaneAlts int
+
+	// MaxCombos caps how many lane-combination candidates one Vec node can
+	// produce per rule per iteration. 0 means the default (4).
+	MaxCombos int
+}
+
+// Default returns the configuration used throughout the evaluation.
+func Default(width int) Config { return Config{Width: width} }
+
+func (c Config) laneAlts() int {
+	if c.MaxLaneAlts <= 0 {
+		return 2
+	}
+	return c.MaxLaneAlts
+}
+
+func (c Config) combos() int {
+	if c.MaxCombos <= 0 {
+		return 4
+	}
+	return c.MaxCombos
+}
+
+// Rules builds the rewrite list for the configuration.
+func (c Config) Rules() []egraph.Rewrite {
+	if c.Width <= 0 {
+		panic("rules: Width must be positive")
+	}
+	out := scalarRules()
+	out = append(out, constFoldRule{})
+	if c.EnableAC {
+		out = append(out, acRules()...)
+	}
+	if !c.DisableVector {
+		out = append(out,
+			chunkRule{width: c.Width},
+			newVectorizeRule(c),
+			newMACRule(c),
+		)
+	}
+	return out
+}
+
+// scalarRules are sound syntactic identities over the reals (§3.4 notes the
+// rules are correct over ℝ, not IEEE floats, like other kernel compilers).
+func scalarRules() []egraph.Rewrite {
+	mk := egraph.MustRewrite
+	return []egraph.Rewrite{
+		mk("add-0-r", "(+ ?a 0)", "?a"),
+		mk("add-0-l", "(+ 0 ?a)", "?a"),
+		mk("sub-0-r", "(- ?a 0)", "?a"),
+		mk("sub-self", "(- ?a ?a)", "0"),
+		mk("sub-0-l", "(- 0 ?a)", "(neg ?a)"),
+		mk("mul-1-r", "(* ?a 1)", "?a"),
+		mk("mul-1-l", "(* 1 ?a)", "?a"),
+		mk("mul-0-r", "(* ?a 0)", "0"),
+		mk("mul-0-l", "(* 0 ?a)", "0"),
+		mk("div-1", "(/ ?a 1)", "?a"),
+		mk("neg-neg", "(neg (neg ?a))", "?a"),
+		mk("neg-mul", "(* (neg ?a) ?b)", "(neg (* ?a ?b))"),
+		mk("mul-neg", "(neg (* ?a ?b))", "(* (neg ?a) ?b)"),
+	}
+}
+
+// acRules are the optional full associativity/commutativity rules (§3.3).
+func acRules() []egraph.Rewrite {
+	mk := egraph.MustRewrite
+	return []egraph.Rewrite{
+		mk("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+		mk("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+		mk("assoc-add-r", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+		mk("assoc-add-l", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)"),
+		mk("assoc-mul-r", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))"),
+		mk("assoc-mul-l", "(* ?a (* ?b ?c))", "(* (* ?a ?b) ?c)"),
+	}
+}

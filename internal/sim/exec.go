@@ -1,0 +1,442 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"diospyros/internal/expr"
+	"diospyros/internal/isa"
+)
+
+// exec executes one instruction, returning the next pc.
+func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
+	lat := int64(in.Op.Latency())
+	switch in.Op {
+	case isa.SConst:
+		at := m.issue(in, 0)
+		return pc + 1, m.setF(in.Dst, in.Imm, at+lat)
+	case isa.SMov:
+		a, r, err := m.fr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		return pc + 1, m.setF(in.Dst, a, at+lat)
+	case isa.SLoad:
+		base, r, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		addr := base + in.IImm
+		if err := m.checkAddr(addr, 1); err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r, m.memReady))
+		return pc + 1, m.setF(in.Dst, m.mem[addr], at+lat)
+	case isa.SStore:
+		base, r1, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		v, r2, err := m.fr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		addr := base + in.IImm
+		if err := m.checkAddr(addr, 1); err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r1, r2))
+		m.mem[addr] = v
+		m.memReady = max64(m.memReady, at+lat)
+		return pc + 1, nil
+	case isa.SAdd, isa.SSub, isa.SMul, isa.SDiv:
+		a, r1, err := m.fr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.fr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r1, r2))
+		var v float64
+		switch in.Op {
+		case isa.SAdd:
+			v = a + b
+		case isa.SSub:
+			v = a - b
+		case isa.SMul:
+			v = a * b
+		default:
+			v = a / b
+		}
+		return pc + 1, m.setF(in.Dst, v, at+lat)
+	case isa.SNeg, isa.SSqrt, isa.SSgn, isa.SAbs:
+		a, r, err := m.fr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		var v float64
+		switch in.Op {
+		case isa.SNeg:
+			v = -a
+		case isa.SSqrt:
+			v = math.Sqrt(a)
+		case isa.SSgn:
+			v = expr.Sign(a)
+		default:
+			v = math.Abs(a)
+		}
+		return pc + 1, m.setF(in.Dst, v, at+lat)
+
+	case isa.IConst:
+		at := m.issue(in, 0)
+		return pc + 1, m.setI(in.Dst, in.IImm, at+lat)
+	case isa.ILoad:
+		base, r, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		addr := base + in.IImm
+		if err := m.checkAddr(addr, 1); err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r, m.memReady))
+		return pc + 1, m.setI(in.Dst, int(m.mem[addr]), at+lat)
+	case isa.IMov:
+		a, r, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		return pc + 1, m.setI(in.Dst, a, at+lat)
+	case isa.IAdd, isa.ISub, isa.IMul, isa.IDiv, isa.IMod:
+		a, r1, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.ir(in.B)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r1, r2))
+		var v int
+		switch in.Op {
+		case isa.IAdd:
+			v = a + b
+		case isa.ISub:
+			v = a - b
+		case isa.IMul:
+			v = a * b
+		case isa.IDiv:
+			if b == 0 {
+				return 0, fmt.Errorf("integer division by zero")
+			}
+			v = a / b
+		default:
+			if b == 0 {
+				return 0, fmt.Errorf("integer modulo by zero")
+			}
+			v = a % b
+		}
+		return pc + 1, m.setI(in.Dst, v, at+lat)
+	case isa.IAddI, isa.IMulI:
+		a, r, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		v := a + in.IImm
+		if in.Op == isa.IMulI {
+			v = a * in.IImm
+		}
+		return pc + 1, m.setI(in.Dst, v, at+lat)
+
+	case isa.Jmp:
+		m.issue(in, 0)
+		m.cycle++ // taken-branch bubble
+		return m.prog.Labels[in.Target], nil
+	case isa.BrLT, isa.BrGE, isa.BrEQ, isa.BrNE:
+		a, r1, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.ir(in.B)
+		if err != nil {
+			return 0, err
+		}
+		m.issue(in, max64(r1, r2))
+		var taken bool
+		switch in.Op {
+		case isa.BrLT:
+			taken = a < b
+		case isa.BrGE:
+			taken = a >= b
+		case isa.BrEQ:
+			taken = a == b
+		default:
+			taken = a != b
+		}
+		if taken {
+			m.cycle++
+			return m.prog.Labels[in.Target], nil
+		}
+		return pc + 1, nil
+	case isa.BrLTF, isa.BrGEF:
+		a, r1, err := m.fr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.fr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		m.issue(in, max64(r1, r2))
+		taken := a < b
+		if in.Op == isa.BrGEF {
+			taken = a >= b
+		}
+		if taken {
+			m.cycle++
+			return m.prog.Labels[in.Target], nil
+		}
+		return pc + 1, nil
+
+	case isa.CallFn:
+		fn, ok := m.cfg.Funcs[in.Sym]
+		if !ok {
+			return 0, fmt.Errorf("no semantics for function %q", in.Sym)
+		}
+		args := make([]float64, len(in.Args))
+		var ready int64
+		for i, reg := range in.Args {
+			v, r, err := m.fr(reg)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+			ready = max64(ready, r)
+		}
+		at := m.issue(in, ready)
+		return pc + 1, m.setF(in.Dst, fn(args), at+lat)
+
+	case isa.VConst:
+		if len(in.Vals) != isa.Width {
+			return 0, fmt.Errorf("vconst needs %d values, got %d", isa.Width, len(in.Vals))
+		}
+		at := m.issue(in, 0)
+		var v [isa.Width]float64
+		copy(v[:], in.Vals)
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VMov:
+		a, r, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		return pc + 1, m.setV(in.Dst, a, at+lat)
+	case isa.VBcast:
+		a, r, err := m.fr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		var v [isa.Width]float64
+		for i := range v {
+			v[i] = a
+		}
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VLoad:
+		base, r, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		addr := base + in.IImm
+		if err := m.checkAddr(addr, isa.Width); err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r, m.memReady))
+		var v [isa.Width]float64
+		copy(v[:], m.mem[addr:addr+isa.Width])
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VStore, isa.VStoreN:
+		base, r1, err := m.ir(in.A)
+		if err != nil {
+			return 0, err
+		}
+		v, r2, err := m.vr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		n := isa.Width
+		if in.Op == isa.VStoreN {
+			n = in.IImm2
+			if n < 1 || n > isa.Width {
+				return 0, fmt.Errorf("vstoren lane count %d out of range", n)
+			}
+		}
+		addr := base + in.IImm
+		if err := m.checkAddr(addr, n); err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r1, r2))
+		copy(m.mem[addr:addr+n], v[:n])
+		m.memReady = max64(m.memReady, at+lat)
+		return pc + 1, nil
+	case isa.VInsert:
+		a, r1, err := m.fr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		cur, r2, err := m.vr(in.Dst)
+		if err != nil {
+			return 0, err
+		}
+		if in.IImm < 0 || in.IImm >= isa.Width {
+			return 0, fmt.Errorf("vinsert lane %d out of range", in.IImm)
+		}
+		at := m.issue(in, max64(r1, r2))
+		cur[in.IImm] = a
+		return pc + 1, m.setV(in.Dst, cur, at+lat)
+	case isa.VExtract:
+		a, r, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		if in.IImm < 0 || in.IImm >= isa.Width {
+			return 0, fmt.Errorf("vextract lane %d out of range", in.IImm)
+		}
+		at := m.issue(in, r)
+		return pc + 1, m.setF(in.Dst, a[in.IImm], at+lat)
+	case isa.VShfl:
+		a, r, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		if len(in.Idx) != isa.Width {
+			return 0, fmt.Errorf("vshfl needs %d indices", isa.Width)
+		}
+		at := m.issue(in, r)
+		var v [isa.Width]float64
+		for k, idx := range in.Idx {
+			if idx < 0 || idx >= isa.Width {
+				return 0, fmt.Errorf("vshfl index %d out of range", idx)
+			}
+			v[k] = a[idx]
+		}
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VSel:
+		a, r1, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.vr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		if len(in.Idx) != isa.Width {
+			return 0, fmt.Errorf("vsel needs %d indices", isa.Width)
+		}
+		at := m.issue(in, max64(r1, r2))
+		var v [isa.Width]float64
+		for k, idx := range in.Idx {
+			switch {
+			case idx >= 0 && idx < isa.Width:
+				v[k] = a[idx]
+			case idx >= isa.Width && idx < 2*isa.Width:
+				v[k] = b[idx-isa.Width]
+			default:
+				return 0, fmt.Errorf("vsel index %d out of range", idx)
+			}
+		}
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VAdd, isa.VSub, isa.VMul, isa.VDiv:
+		a, r1, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.vr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r1, r2))
+		var v [isa.Width]float64
+		for k := 0; k < isa.Width; k++ {
+			switch in.Op {
+			case isa.VAdd:
+				v[k] = a[k] + b[k]
+			case isa.VSub:
+				v[k] = a[k] - b[k]
+			case isa.VMul:
+				v[k] = a[k] * b[k]
+			default:
+				v[k] = a[k] / b[k]
+			}
+		}
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VMac:
+		acc, r0, err := m.vr(in.Dst)
+		if err != nil {
+			return 0, err
+		}
+		a, r1, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		b, r2, err := m.vr(in.B)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, max64(r0, max64(r1, r2)))
+		for k := 0; k < isa.Width; k++ {
+			acc[k] += a[k] * b[k]
+		}
+		return pc + 1, m.setV(in.Dst, acc, at+lat)
+	case isa.VNeg, isa.VSqrt, isa.VSgn:
+		a, r, err := m.vr(in.A)
+		if err != nil {
+			return 0, err
+		}
+		at := m.issue(in, r)
+		var v [isa.Width]float64
+		for k := 0; k < isa.Width; k++ {
+			switch in.Op {
+			case isa.VNeg:
+				v[k] = -a[k]
+			case isa.VSqrt:
+				v[k] = math.Sqrt(a[k])
+			default:
+				v[k] = expr.Sign(a[k])
+			}
+		}
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	case isa.VCallFn:
+		fn, ok := m.cfg.Funcs[in.Sym]
+		if !ok {
+			return 0, fmt.Errorf("no semantics for function %q", in.Sym)
+		}
+		var ready int64
+		vals := make([][isa.Width]float64, len(in.Args))
+		for i, reg := range in.Args {
+			v, r, err := m.vr(reg)
+			if err != nil {
+				return 0, err
+			}
+			vals[i] = v
+			ready = max64(ready, r)
+		}
+		at := m.issue(in, ready)
+		var v [isa.Width]float64
+		for k := 0; k < isa.Width; k++ {
+			args := make([]float64, len(vals))
+			for i := range vals {
+				args[i] = vals[i][k]
+			}
+			v[k] = fn(args)
+		}
+		return pc + 1, m.setV(in.Dst, v, at+lat)
+	}
+	return 0, fmt.Errorf("unimplemented opcode %s", in.Op)
+}

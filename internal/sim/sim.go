@@ -1,0 +1,319 @@
+// Package sim is a deterministic cycle-level simulator for FG3-lite
+// programs, standing in for the proprietary Tensilica xt-run simulator used
+// in the paper's evaluation (§5.2). Like xt-run's default configuration it
+// models an ideal unit-delay memory; cycle counts come from an in-order
+// scoreboard with dual issue (one memory-slot plus one ALU-slot operation
+// per cycle when independent), per-opcode latencies for long operations
+// (divide, square root), and a one-cycle taken-branch bubble.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"diospyros/internal/isa"
+)
+
+// Config parameterizes a simulation run. The zero value gets sensible
+// defaults from Defaults.
+type Config struct {
+	// Register file sizes. FG3-lite is generous with registers (the
+	// compilers in this repo use virtual registers freely and model
+	// register pressure at compile time; see DESIGN.md). When zero, each
+	// file is sized to the largest register index the program names.
+	FRegs, IRegs, VRegs int
+	// MaxInstrs guards against runaway loops.
+	MaxInstrs int64
+	// DualIssue enables the MEM+ALU pairing model; disabling it makes the
+	// machine strictly single-issue (used in tests and ablations).
+	DualIssue bool
+	// Funcs supplies semantics for uninterpreted functions (CallFn).
+	Funcs map[string]func([]float64) float64
+	// Trace, when non-nil, receives one line per executed instruction.
+	Trace io.Writer
+}
+
+// Defaults returns the standard configuration.
+func Defaults() Config {
+	return Config{MaxInstrs: 200_000_000, DualIssue: true}
+}
+
+func (c Config) withDefaults(p *isa.Program) Config {
+	if c.MaxInstrs == 0 {
+		c.MaxInstrs = 200_000_000
+	}
+	f, i, v := maxRegs(p)
+	if c.FRegs == 0 {
+		c.FRegs = f + 1
+	}
+	if c.IRegs == 0 {
+		c.IRegs = i + 1
+	}
+	if c.VRegs == 0 {
+		c.VRegs = v + 1
+	}
+	return c
+}
+
+// maxRegs scans the program for the largest register index per file.
+func maxRegs(p *isa.Program) (f, i, v int) {
+	up := func(cur *int, idx int) {
+		if idx > *cur {
+			*cur = idx
+		}
+	}
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case isa.SConst, isa.SMov, isa.SNeg, isa.SSqrt, isa.SSgn, isa.SAbs:
+			up(&f, in.Dst)
+			up(&f, in.A)
+		case isa.SLoad:
+			up(&f, in.Dst)
+			up(&i, in.A)
+		case isa.SStore:
+			up(&i, in.A)
+			up(&f, in.B)
+		case isa.SAdd, isa.SSub, isa.SMul, isa.SDiv:
+			up(&f, in.Dst)
+			up(&f, in.A)
+			up(&f, in.B)
+		case isa.IConst:
+			up(&i, in.Dst)
+		case isa.ILoad:
+			up(&i, in.Dst)
+			up(&i, in.A)
+		case isa.IMov, isa.IAddI, isa.IMulI:
+			up(&i, in.Dst)
+			up(&i, in.A)
+		case isa.IAdd, isa.ISub, isa.IMul, isa.IDiv, isa.IMod:
+			up(&i, in.Dst)
+			up(&i, in.A)
+			up(&i, in.B)
+		case isa.BrLT, isa.BrGE, isa.BrEQ, isa.BrNE:
+			up(&i, in.A)
+			up(&i, in.B)
+		case isa.BrLTF, isa.BrGEF:
+			up(&f, in.A)
+			up(&f, in.B)
+		case isa.CallFn:
+			up(&f, in.Dst)
+			for _, a := range in.Args {
+				up(&f, a)
+			}
+		case isa.VConst, isa.VMov, isa.VNeg, isa.VSqrt, isa.VSgn:
+			up(&v, in.Dst)
+			up(&v, in.A)
+		case isa.VBcast:
+			up(&v, in.Dst)
+			up(&f, in.A)
+		case isa.VLoad:
+			up(&v, in.Dst)
+			up(&i, in.A)
+		case isa.VStore, isa.VStoreN:
+			up(&i, in.A)
+			up(&v, in.B)
+		case isa.VInsert:
+			up(&v, in.Dst)
+			up(&f, in.A)
+		case isa.VExtract:
+			up(&f, in.Dst)
+			up(&v, in.A)
+		case isa.VShfl:
+			up(&v, in.Dst)
+			up(&v, in.A)
+		case isa.VSel, isa.VAdd, isa.VSub, isa.VMul, isa.VDiv, isa.VMac:
+			up(&v, in.Dst)
+			up(&v, in.A)
+			up(&v, in.B)
+		case isa.VCallFn:
+			up(&v, in.Dst)
+			for _, a := range in.Args {
+				up(&v, a)
+			}
+		}
+	}
+	return f, i, v
+}
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	Cycles   int64
+	Instrs   int64
+	OpCounts map[isa.Opcode]int64 // dynamic instruction mix
+	Mem      []float64            // final memory image
+}
+
+// VectorOps returns the dynamic count of vector-arithmetic operations
+// (excluding loads/stores/moves), used by the expert-comparison experiment.
+func (r *Result) VectorOps() int64 {
+	n := int64(0)
+	for op, c := range r.OpCounts {
+		switch op {
+		case isa.VAdd, isa.VSub, isa.VMul, isa.VDiv, isa.VMac, isa.VNeg,
+			isa.VSqrt, isa.VSgn, isa.VShfl, isa.VSel:
+			n += c
+		}
+	}
+	return n
+}
+
+// machine is the architectural state.
+type machine struct {
+	cfg  Config
+	prog *isa.Program
+	f    []float64
+	i    []int
+	v    [][isa.Width]float64
+	mem  []float64
+
+	// Scoreboard state for cycle accounting.
+	cycle    int64 // earliest cycle the next instruction may issue
+	fReady   []int64
+	iReady   []int64
+	vReady   []int64
+	memReady int64 // cycle after which memory is coherent (store barrier)
+	slotMem  int64 // cycle currently holding a MEM-slot issue
+	slotALU  int64
+	slotCtrl int64
+}
+
+// Run executes the program on a copy of the given memory image.
+func Run(p *isa.Program, mem []float64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(p)
+	m := &machine{
+		cfg:     cfg,
+		prog:    p,
+		f:       make([]float64, cfg.FRegs),
+		i:       make([]int, cfg.IRegs),
+		v:       make([][isa.Width]float64, cfg.VRegs),
+		mem:     append([]float64(nil), mem...),
+		fReady:  make([]int64, cfg.FRegs),
+		iReady:  make([]int64, cfg.IRegs),
+		vReady:  make([]int64, cfg.VRegs),
+		slotMem: -1, slotALU: -1, slotCtrl: -1,
+	}
+	res := &Result{OpCounts: map[isa.Opcode]int64{}}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return nil, fmt.Errorf("sim: pc %d out of range in %s", pc, p.Name)
+		}
+		in := &p.Instrs[pc]
+		if in.Op == isa.Halt {
+			break
+		}
+		res.Instrs++
+		res.OpCounts[in.Op]++
+		if res.Instrs > cfg.MaxInstrs {
+			return nil, fmt.Errorf("sim: instruction budget exhausted (%d) in %s", cfg.MaxInstrs, p.Name)
+		}
+		next, err := m.exec(pc, in)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s pc=%d (%s): %w", p.Name, pc, in, err)
+		}
+		if cfg.Trace != nil {
+			fmt.Fprintf(cfg.Trace, "%6d  %3d  %s\n", m.cycle, pc, in)
+		}
+		pc = next
+	}
+	res.Cycles = m.cycle + 1
+	res.Mem = m.mem
+	return res, nil
+}
+
+// issue performs the scoreboard accounting for one instruction: it issues
+// no earlier than the current cycle, waits for its source operands, shares
+// a cycle with at most one instruction of a different slot (dual issue),
+// and marks its destination ready after the opcode latency.
+func (m *machine) issue(in *isa.Instr, srcReady int64) int64 {
+	at := m.cycle
+	if srcReady > at {
+		at = srcReady
+	}
+	slot := in.Op.Slot()
+	for {
+		var taken *int64
+		switch slot {
+		case isa.SlotMem:
+			taken = &m.slotMem
+		case isa.SlotALU:
+			taken = &m.slotALU
+		default:
+			taken = &m.slotCtrl
+		}
+		conflict := *taken == at
+		if !m.cfg.DualIssue {
+			conflict = m.slotMem == at || m.slotALU == at || m.slotCtrl == at
+		}
+		if !conflict {
+			*taken = at
+			break
+		}
+		at++
+	}
+	m.cycle = at
+	return at
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Operand-readiness helpers.
+func (m *machine) fr(idx int) (float64, int64, error) {
+	if idx < 0 || idx >= len(m.f) {
+		return 0, 0, fmt.Errorf("f register %d out of range", idx)
+	}
+	return m.f[idx], m.fReady[idx], nil
+}
+
+func (m *machine) ir(idx int) (int, int64, error) {
+	if idx < 0 || idx >= len(m.i) {
+		return 0, 0, fmt.Errorf("i register %d out of range", idx)
+	}
+	return m.i[idx], m.iReady[idx], nil
+}
+
+func (m *machine) vr(idx int) ([isa.Width]float64, int64, error) {
+	if idx < 0 || idx >= len(m.v) {
+		return [isa.Width]float64{}, 0, fmt.Errorf("v register %d out of range", idx)
+	}
+	return m.v[idx], m.vReady[idx], nil
+}
+
+func (m *machine) setF(idx int, v float64, ready int64) error {
+	if idx < 0 || idx >= len(m.f) {
+		return fmt.Errorf("f register %d out of range", idx)
+	}
+	m.f[idx] = v
+	m.fReady[idx] = ready
+	return nil
+}
+
+func (m *machine) setI(idx int, v int, ready int64) error {
+	if idx < 0 || idx >= len(m.i) {
+		return fmt.Errorf("i register %d out of range", idx)
+	}
+	m.i[idx] = v
+	m.iReady[idx] = ready
+	return nil
+}
+
+func (m *machine) setV(idx int, v [isa.Width]float64, ready int64) error {
+	if idx < 0 || idx >= len(m.v) {
+		return fmt.Errorf("v register %d out of range", idx)
+	}
+	m.v[idx] = v
+	m.vReady[idx] = ready
+	return nil
+}
+
+func (m *machine) checkAddr(base, n int) error {
+	if base < 0 || base+n > len(m.mem) {
+		return fmt.Errorf("memory access [%d, %d) out of range (size %d)", base, base+n, len(m.mem))
+	}
+	return nil
+}

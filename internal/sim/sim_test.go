@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"diospyros/internal/isa"
+)
+
+func run(t *testing.T, b *isa.Builder, mem []float64, cfg Config) *Result {
+	t.Helper()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, mem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("out", 8)
+	b := isa.NewBuilder("scalar", lay)
+	base := b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+	f0, f1, f2 := b.FReg(), b.FReg(), b.FReg()
+	b.Emit(isa.Instr{Op: isa.SConst, Dst: f0, Imm: 6})
+	b.Emit(isa.Instr{Op: isa.SConst, Dst: f1, Imm: 2})
+	emits := []struct {
+		op   isa.Opcode
+		want float64
+	}{
+		{isa.SAdd, 8}, {isa.SSub, 4}, {isa.SMul, 12}, {isa.SDiv, 3},
+	}
+	for i, e := range emits {
+		b.Emit(isa.Instr{Op: e.op, Dst: f2, A: f0, B: f1})
+		b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: i, B: f2})
+	}
+	b.Emit(isa.Instr{Op: isa.SNeg, Dst: f2, A: f0})
+	b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: 4, B: f2})
+	b.Emit(isa.Instr{Op: isa.SSqrt, Dst: f2, A: f0})
+	b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: 5, B: f2})
+	b.Emit(isa.Instr{Op: isa.SSgn, Dst: f2, A: f2})
+	b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: 6, B: f2})
+	b.Emit(isa.Instr{Op: isa.SAbs, Dst: f2, A: f1})
+	b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: 7, B: f2})
+
+	res := run(t, b, make([]float64, 8), Config{})
+	want := []float64{8, 4, 12, 3, -6, math.Sqrt(6), 1, 2}
+	for i, w := range want {
+		if math.Abs(res.Mem[i]-w) > 1e-12 {
+			t.Errorf("mem[%d] = %g, want %g", i, res.Mem[i], w)
+		}
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum a[0..9] into out[0] with a counted loop.
+	lay := isa.NewLayout()
+	lay.Add("a", 10)
+	lay.Add("out", 1)
+	b := isa.NewBuilder("loop", lay)
+	base := b.IReg()
+	i := b.IReg()
+	n := b.IReg()
+	acc := b.FReg()
+	tmp := b.FReg()
+	ptr := b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: i, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: n, IImm: 10})
+	b.Emit(isa.Instr{Op: isa.SConst, Dst: acc, Imm: 0})
+	b.Label("loop")
+	b.Emit(isa.Instr{Op: isa.BrGE, A: i, B: n, Target: "done"})
+	b.Emit(isa.Instr{Op: isa.IAdd, Dst: ptr, A: base, B: i})
+	b.Emit(isa.Instr{Op: isa.SLoad, Dst: tmp, A: ptr, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.SAdd, Dst: acc, A: acc, B: tmp})
+	b.Emit(isa.Instr{Op: isa.IAddI, Dst: i, A: i, IImm: 1})
+	b.Emit(isa.Instr{Op: isa.Jmp, Target: "loop"})
+	b.Label("done")
+	outp := b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: outp, IImm: lay.Base("out")})
+	b.Emit(isa.Instr{Op: isa.SStore, A: outp, IImm: 0, B: acc})
+
+	mem := make([]float64, 11)
+	for k := 0; k < 10; k++ {
+		mem[k] = float64(k + 1)
+	}
+	res := run(t, b, mem, Config{})
+	if res.Mem[10] != 55 {
+		t.Fatalf("sum = %g, want 55", res.Mem[10])
+	}
+	if res.Instrs < 50 {
+		t.Fatalf("dynamic instruction count %d suspiciously low", res.Instrs)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("a", 4)
+	lay.Add("b", 4)
+	lay.Add("out", 24)
+	b := isa.NewBuilder("vec", lay)
+	ab, bb, ob := b.IReg(), b.IReg(), b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: ab, IImm: lay.Base("a")})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: bb, IImm: lay.Base("b")})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: ob, IImm: lay.Base("out")})
+	va, vb, vc := b.VReg(), b.VReg(), b.VReg()
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: va, A: ab})
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: vb, A: bb})
+	ops := []isa.Opcode{isa.VAdd, isa.VSub, isa.VMul, isa.VDiv}
+	for i, op := range ops {
+		b.Emit(isa.Instr{Op: op, Dst: vc, A: va, B: vb})
+		b.Emit(isa.Instr{Op: isa.VStore, A: ob, IImm: i * 4, B: vc})
+	}
+	// MAC: vc = va; vc += va*vb.
+	b.Emit(isa.Instr{Op: isa.VMov, Dst: vc, A: va})
+	b.Emit(isa.Instr{Op: isa.VMac, Dst: vc, A: va, B: vb})
+	b.Emit(isa.Instr{Op: isa.VStore, A: ob, IImm: 16, B: vc})
+	// Shuffle then select.
+	b.Emit(isa.Instr{Op: isa.VShfl, Dst: vc, A: va, Idx: []int{3, 2, 1, 0}})
+	b.Emit(isa.Instr{Op: isa.VSel, Dst: vc, A: vc, B: vb, Idx: []int{0, 5, 2, 7}})
+	b.Emit(isa.Instr{Op: isa.VStore, A: ob, IImm: 20, B: vc})
+
+	mem := make([]float64, 32)
+	copy(mem, []float64{1, 2, 3, 4, 10, 20, 30, 40})
+	res := run(t, b, mem, Config{})
+	out := res.Mem[8:]
+	want := []float64{
+		11, 22, 33, 44, // add
+		-9, -18, -27, -36, // sub
+		10, 40, 90, 160, // mul
+		0.1, 0.1, 0.1, 0.1, // div
+		11, 42, 93, 164, // mac: a + a*b
+		4, 20, 2, 40, // shfl(3,2,1,0) then sel
+	}
+	for i, w := range want {
+		if math.Abs(out[i]-w) > 1e-12 {
+			t.Errorf("out[%d] = %g, want %g", i, out[i], w)
+		}
+	}
+}
+
+func TestVStoreNAndInsertExtract(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("out", 8)
+	b := isa.NewBuilder("vstoren", lay)
+	ob := b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: ob, IImm: 0})
+	v := b.VReg()
+	f := b.FReg()
+	b.Emit(isa.Instr{Op: isa.VConst, Dst: v, Vals: []float64{1, 2, 3, 4}})
+	b.Emit(isa.Instr{Op: isa.SConst, Dst: f, Imm: 9})
+	b.Emit(isa.Instr{Op: isa.VInsert, Dst: v, A: f, IImm: 2})
+	b.Emit(isa.Instr{Op: isa.VStoreN, A: ob, IImm: 0, B: v, IImm2: 3})
+	b.Emit(isa.Instr{Op: isa.VExtract, Dst: f, A: v, IImm: 3})
+	b.Emit(isa.Instr{Op: isa.SStore, A: ob, IImm: 7, B: f})
+	res := run(t, b, make([]float64, 8), Config{})
+	want := []float64{1, 2, 9, 0, 0, 0, 0, 4}
+	for i, w := range want {
+		if res.Mem[i] != w {
+			t.Errorf("mem[%d] = %g, want %g", i, res.Mem[i], w)
+		}
+	}
+}
+
+func TestBcastAndCall(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("out", 5)
+	b := isa.NewBuilder("misc", lay)
+	ob := b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: ob, IImm: 0})
+	f := b.FReg()
+	v := b.VReg()
+	b.Emit(isa.Instr{Op: isa.SConst, Dst: f, Imm: 7})
+	b.Emit(isa.Instr{Op: isa.VBcast, Dst: v, A: f})
+	b.Emit(isa.Instr{Op: isa.VStore, A: ob, IImm: 0, B: v})
+	g := b.FReg()
+	b.Emit(isa.Instr{Op: isa.CallFn, Dst: g, Sym: "half", Args: []int{f}})
+	b.Emit(isa.Instr{Op: isa.SStore, A: ob, IImm: 4, B: g})
+	cfg := Config{Funcs: map[string]func([]float64) float64{
+		"half": func(a []float64) float64 { return a[0] / 2 },
+	}}
+	res := run(t, b, make([]float64, 5), cfg)
+	want := []float64{7, 7, 7, 7, 3.5}
+	for i, w := range want {
+		if res.Mem[i] != w {
+			t.Errorf("mem[%d] = %g, want %g", i, res.Mem[i], w)
+		}
+	}
+}
+
+func TestDualIssuePairsMemAndALU(t *testing.T) {
+	// Independent load+add streams should pack tighter with dual issue.
+	build := func() *isa.Builder {
+		lay := isa.NewLayout()
+		lay.Add("a", 16)
+		b := isa.NewBuilder("pair", lay)
+		base := b.IReg()
+		b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+		for k := 0; k < 8; k++ {
+			f := b.FReg()
+			g := b.FReg()
+			b.Emit(isa.Instr{Op: isa.SLoad, Dst: f, A: base, IImm: k})
+			b.Emit(isa.Instr{Op: isa.SConst, Dst: g, Imm: 1}) // ALU, independent
+		}
+		return b
+	}
+	dual := run(t, build(), make([]float64, 16), Config{DualIssue: true})
+	single := run(t, build(), make([]float64, 16), Config{DualIssue: false})
+	if dual.Cycles >= single.Cycles {
+		t.Fatalf("dual issue (%d cycles) not faster than single issue (%d)", dual.Cycles, single.Cycles)
+	}
+}
+
+func TestLongLatencyStalls(t *testing.T) {
+	// A dependent chain through sqrt must cost ≈ latency each.
+	lay := isa.NewLayout()
+	lay.Add("out", 1)
+	mk := func(op isa.Opcode, n int) int64 {
+		b := isa.NewBuilder("lat", lay)
+		f := b.FReg()
+		b.Emit(isa.Instr{Op: isa.SConst, Dst: f, Imm: 2})
+		for k := 0; k < n; k++ {
+			b.Emit(isa.Instr{Op: op, Dst: f, A: f, B: f})
+		}
+		base := b.IReg()
+		b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+		b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: 0, B: f})
+		return run(t, b, make([]float64, 1), Config{}).Cycles
+	}
+	addChain := mk(isa.SAdd, 10)
+	divChain := mk(isa.SDiv, 10)
+	if divChain <= addChain+9*7 {
+		t.Fatalf("div chain %d cycles vs add chain %d: latency not modeled", divChain, addChain)
+	}
+}
+
+func TestBranchBubble(t *testing.T) {
+	// A taken-branch loop has per-iteration overhead beyond its body.
+	lay := isa.NewLayout()
+	b := isa.NewBuilder("br", lay)
+	i, n := b.IReg(), b.IReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: i, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: n, IImm: 100})
+	b.Label("top")
+	b.Emit(isa.Instr{Op: isa.BrGE, A: i, B: n, Target: "end"})
+	b.Emit(isa.Instr{Op: isa.IAddI, Dst: i, A: i, IImm: 1})
+	b.Emit(isa.Instr{Op: isa.Jmp, Target: "top"})
+	b.Label("end")
+	res := run(t, b, nil, Config{})
+	if res.Cycles < 300 {
+		t.Fatalf("loop of 100 iterations took %d cycles; branch overhead missing", res.Cycles)
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	lay := isa.NewLayout()
+	b := isa.NewBuilder("spin", lay)
+	b.Label("top")
+	b.Emit(isa.Instr{Op: isa.Jmp, Target: "top"})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, nil, Config{MaxInstrs: 1000}); err == nil {
+		t.Fatal("expected instruction-budget error")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("a", 2)
+	cases := []isa.Instr{
+		{Op: isa.SLoad, Dst: 0, A: 0, IImm: 99},               // OOB load
+		{Op: isa.VShfl, Dst: 0, A: 0, Idx: []int{0, 1, 2, 9}}, // bad index
+		{Op: isa.VSel, Dst: 0, A: 0, B: 0, Idx: []int{0, 1, 2, 8}},
+		{Op: isa.VConst, Dst: 0, Vals: []float64{1}},
+		{Op: isa.CallFn, Dst: 0, Sym: "nosuch"},
+		{Op: isa.VInsert, Dst: 0, A: 0, IImm: 7},
+		{Op: isa.VStoreN, A: 0, B: 0, IImm2: 9},
+	}
+	for _, in := range cases {
+		b := isa.NewBuilder("err", lay)
+		b.Emit(isa.Instr{Op: isa.IConst, Dst: 0, IImm: 0})
+		b.Emit(in)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(p, make([]float64, 2), Config{}); err == nil {
+			t.Errorf("instruction %s: expected runtime error", in)
+		}
+	}
+}
+
+func TestBuilderRejectsUndefinedLabel(t *testing.T) {
+	lay := isa.NewLayout()
+	b := isa.NewBuilder("bad", lay)
+	b.Emit(isa.Instr{Op: isa.Jmp, Target: "nowhere"})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestDisassembleReadable(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("a", 4)
+	b := isa.NewBuilder("dis", lay)
+	b.Label("start")
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: 0, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.VLoad, Dst: 0, A: 0})
+	b.Emit(isa.Instr{Op: isa.VShfl, Dst: 1, A: 0, Idx: []int{1, 2, 0, 3}})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Disassemble()
+	for _, want := range []string{"start:", "vload", "vshfl", "region a"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("a", 8)
+	mk := func() *Result {
+		b := isa.NewBuilder("det", lay)
+		base := b.IReg()
+		b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+		v := b.VReg()
+		b.Emit(isa.Instr{Op: isa.VLoad, Dst: v, A: base})
+		b.Emit(isa.Instr{Op: isa.VMul, Dst: v, A: v, B: v})
+		b.Emit(isa.Instr{Op: isa.VStore, A: base, IImm: 4, B: v})
+		mem := []float64{1, 2, 3, 4, 0, 0, 0, 0}
+		return run(t, b, mem, Config{})
+	}
+	a, b2 := mk(), mk()
+	if a.Cycles != b2.Cycles || a.Instrs != b2.Instrs {
+		t.Fatalf("nondeterministic simulation: %+v vs %+v", a, b2)
+	}
+}

@@ -1,0 +1,149 @@
+package theia
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diospyros/internal/kernels"
+)
+
+// randProjection builds a realistic projection matrix P = K·[R | -R·c].
+func randProjection(r *rand.Rand) (p []float64, k, rot, center []float64) {
+	// Calibration: upper triangular with positive diagonal, K22 = 1.
+	k = []float64{
+		800 + r.Float64()*200, r.Float64() * 2, 320 + r.Float64()*20,
+		0, 800 + r.Float64()*200, 240 + r.Float64()*20,
+		0, 0, 1,
+	}
+	// Rotation from a random quaternion.
+	q := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	n := math.Sqrt(q[0]*q[0] + q[1]*q[1] + q[2]*q[2] + q[3]*q[3])
+	for i := range q {
+		q[i] /= n
+	}
+	w, x, y, z := q[0], q[1], q[2], q[3]
+	rot = []float64{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y),
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x),
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y),
+	}
+	center = []float64{r.Float64()*4 - 2, r.Float64()*4 - 2, r.Float64()*4 - 2}
+	// t = -R·c.
+	t := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			t[i] -= rot[i*3+j] * center[j]
+		}
+	}
+	// P = K·[R | t].
+	rt := []float64{
+		rot[0], rot[1], rot[2], t[0],
+		rot[3], rot[4], rot[5], t[1],
+		rot[6], rot[7], rot[8], t[2],
+	}
+	p = make([]float64, 12)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for kk := 0; kk < 3; kk++ {
+				p[i*4+j] += k[i*3+kk] * rt[kk*4+j]
+			}
+		}
+	}
+	return p, k, rot, center
+}
+
+func TestDecomposeRefRecovers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		p, k, rot, center := randProjection(r)
+		gk, gr, gc := DecomposeRef(p)
+		for i := range k {
+			if math.Abs(gk[i]-k[i]) > 1e-6*math.Max(1, math.Abs(k[i])) {
+				t.Fatalf("trial %d: K[%d] = %g, want %g", trial, i, gk[i], k[i])
+			}
+		}
+		for i := range rot {
+			if math.Abs(gr[i]-rot[i]) > 1e-6 {
+				t.Fatalf("trial %d: R[%d] = %g, want %g", trial, i, gr[i], rot[i])
+			}
+		}
+		for i := range center {
+			if math.Abs(gc[i]-center[i]) > 1e-5 {
+				t.Fatalf("trial %d: c[%d] = %g, want %g", trial, i, gc[i], center[i])
+			}
+		}
+	}
+}
+
+func TestDecomposeOnSimulatorBothVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p, k, rot, center := randProjection(r)
+	for _, variant := range []Variant{VariantEigen, VariantDiospyros} {
+		res, err := Decompose(p, variant)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		for i := range k {
+			if math.Abs(res.K[i]-k[i]) > 1e-4*math.Max(1, math.Abs(k[i])) {
+				t.Fatalf("%s: K[%d] = %g, want %g", variant, i, res.K[i], k[i])
+			}
+		}
+		for i := range rot {
+			if math.Abs(res.R[i]-rot[i]) > 1e-4 {
+				t.Fatalf("%s: R[%d] = %g, want %g", variant, i, res.R[i], rot[i])
+			}
+		}
+		for i := range center {
+			if math.Abs(res.Center[i]-center[i]) > 1e-3 {
+				t.Fatalf("%s: c[%d] = %g, want %g", variant, i, res.Center[i], center[i])
+			}
+		}
+		if res.TotalCycles <= 0 || res.QRCycles <= 0 {
+			t.Fatalf("%s: missing cycle counts: %+v", variant, res)
+		}
+	}
+}
+
+func TestDiospyrosVariantIsFaster(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p, _, _, _ := randProjection(r)
+	eig, err := Decompose(p, VariantEigen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dio, err := Decompose(p, VariantDiospyros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dio.QRCycles >= eig.QRCycles {
+		t.Fatalf("Diospyros QR (%d cycles) not faster than library QR (%d)", dio.QRCycles, eig.QRCycles)
+	}
+	if dio.TotalCycles >= eig.TotalCycles {
+		t.Fatalf("end-to-end: Diospyros %d >= Eigen %d cycles", dio.TotalCycles, eig.TotalCycles)
+	}
+	t.Logf("eigen total=%d (qr=%d, %.0f%%), diospyros total=%d (qr=%d); speedup %.2fx",
+		eig.TotalCycles, eig.QRCycles, 100*float64(eig.QRCycles)/float64(eig.TotalCycles),
+		dio.TotalCycles, dio.QRCycles,
+		float64(eig.TotalCycles)/float64(dio.TotalCycles))
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	if _, err := Decompose(make([]float64, 5), VariantEigen); err == nil {
+		t.Fatal("bad input accepted")
+	}
+}
+
+func TestProjectionConsistency(t *testing.T) {
+	// P·(c,1) ≈ 0: the recovered center is the null vector.
+	r := rand.New(rand.NewSource(4))
+	p, _, _, _ := randProjection(r)
+	_, _, c := DecomposeRef(p)
+	for i := 0; i < 3; i++ {
+		v := p[i*4+0]*c[0] + p[i*4+1]*c[1] + p[i*4+2]*c[2] + p[i*4+3]
+		if math.Abs(v) > 1e-4 {
+			t.Fatalf("P·(c,1)[%d] = %g", i, v)
+		}
+	}
+	_ = kernels.MatMulRef // keep import for potential extension
+}

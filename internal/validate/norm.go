@@ -1,0 +1,304 @@
+// Package validate implements translation validation (paper §3.4): it
+// decides whether the extracted vector program is equivalent to the scalar
+// specification, modelling values in the theory of real arithmetic exactly
+// as the paper's Rosette/SMT validator does.
+//
+// Instead of an SMT solver, equivalence over the +, −, ×, ÷ fragment is
+// decided by normalizing each output element to a multivariate rational
+// function with exact big.Rat coefficients; sqrt, sgn, and user-defined
+// functions are treated as opaque atoms keyed by the canonical form of
+// their arguments (matching the paper's uninterpreted-function treatment).
+// Equality of rational functions is checked by cross-multiplication, which
+// is sound and complete for formal rational expressions.
+package validate
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// maxTerms bounds polynomial size during normalization. Kernels whose
+// normal forms explode (deep division/sqrt towers such as 4×4 QR) yield
+// ErrInconclusive, and callers fall back to randomized differential
+// testing.
+const maxTerms = 200_000
+
+// ErrInconclusive reports that exact normalization was abandoned because
+// the polynomials grew past the safety bound.
+var ErrInconclusive = fmt.Errorf("validate: normal form too large; exact check inconclusive")
+
+// atoms interns the indeterminates of the polynomial ring: input elements,
+// free symbols, and opaque (uninterpreted/irrational) subterms.
+type atoms struct {
+	byKey map[string]int
+	keys  []string
+}
+
+func newAtoms() *atoms { return &atoms{byKey: map[string]int{}} }
+
+func (a *atoms) id(key string) int {
+	if id, ok := a.byKey[key]; ok {
+		return id
+	}
+	id := len(a.keys)
+	a.byKey[key] = id
+	a.keys = append(a.keys, key)
+	return id
+}
+
+// monomial is a sorted multiset of atom ids, encoded canonically.
+type monomial string
+
+func mkMonomial(factors []int) monomial {
+	sort.Ints(factors)
+	var b strings.Builder
+	for i, f := range factors {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", f)
+	}
+	return monomial(b.String())
+}
+
+func (m monomial) factors() []int {
+	if m == "" {
+		return nil
+	}
+	parts := strings.Split(string(m), ".")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		fmt.Sscanf(p, "%d", &out[i])
+	}
+	return out
+}
+
+// poly is a multivariate polynomial: monomial → coefficient.
+type poly map[monomial]*big.Rat
+
+func polyConst(v *big.Rat) poly {
+	p := poly{}
+	if v.Sign() != 0 {
+		p[""] = new(big.Rat).Set(v)
+	}
+	return p
+}
+
+func polyAtom(id int) poly {
+	return poly{mkMonomial([]int{id}): big.NewRat(1, 1)}
+}
+
+func (p poly) clone() poly {
+	q := make(poly, len(p))
+	for m, c := range p {
+		q[m] = new(big.Rat).Set(c)
+	}
+	return q
+}
+
+func (p poly) isZero() bool { return len(p) == 0 }
+
+func (p poly) isConst() (*big.Rat, bool) {
+	if len(p) == 0 {
+		return big.NewRat(0, 1), true
+	}
+	if len(p) == 1 {
+		if c, ok := p[""]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func polyAdd(a, b poly) (poly, error) {
+	out := a.clone()
+	for m, c := range b {
+		if cur, ok := out[m]; ok {
+			cur.Add(cur, c)
+			if cur.Sign() == 0 {
+				delete(out, m)
+			}
+		} else {
+			out[m] = new(big.Rat).Set(c)
+		}
+	}
+	if len(out) > maxTerms {
+		return nil, ErrInconclusive
+	}
+	return out, nil
+}
+
+func polyNeg(a poly) poly {
+	out := make(poly, len(a))
+	for m, c := range a {
+		out[m] = new(big.Rat).Neg(c)
+	}
+	return out
+}
+
+func polyMul(a, b poly) (poly, error) {
+	if len(a)*len(b) > 4*maxTerms {
+		return nil, ErrInconclusive
+	}
+	out := poly{}
+	for ma, ca := range a {
+		fa := ma.factors()
+		for mb, cb := range b {
+			m := mkMonomial(append(append([]int{}, fa...), mb.factors()...))
+			c := new(big.Rat).Mul(ca, cb)
+			if cur, ok := out[m]; ok {
+				cur.Add(cur, c)
+				if cur.Sign() == 0 {
+					delete(out, m)
+				}
+			} else if c.Sign() != 0 {
+				out[m] = c
+			}
+		}
+	}
+	if len(out) > maxTerms {
+		return nil, ErrInconclusive
+	}
+	return out, nil
+}
+
+func polyEqual(a, b poly) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m, c := range a {
+		d, ok := b[m]
+		if !ok || c.Cmp(d) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// canonScaled renders the polynomial with every coefficient multiplied by
+// scale, in sorted monomial order.
+func (p poly) canonScaled(scale *big.Rat) string {
+	if len(p) == 0 {
+		return "0"
+	}
+	ms := make([]string, 0, len(p))
+	for m := range p {
+		ms = append(ms, string(m))
+	}
+	sort.Strings(ms)
+	var b strings.Builder
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		c := new(big.Rat).Mul(p[monomial(m)], scale)
+		fmt.Fprintf(&b, "%s*[%s]", c.RatString(), m)
+	}
+	return b.String()
+}
+
+// ratfn is a formal rational function num/den.
+type ratfn struct {
+	num, den poly
+}
+
+func rfConst(v *big.Rat) ratfn {
+	return ratfn{num: polyConst(v), den: polyConst(big.NewRat(1, 1))}
+}
+
+func rfAtom(id int) ratfn {
+	return ratfn{num: polyAtom(id), den: polyConst(big.NewRat(1, 1))}
+}
+
+func rfAdd(a, b ratfn) (ratfn, error) {
+	// a/b + c/d = (ad + cb) / bd. Share the denominator when equal.
+	if polyEqual(a.den, b.den) {
+		n, err := polyAdd(a.num, b.num)
+		if err != nil {
+			return ratfn{}, err
+		}
+		return ratfn{num: n, den: a.den}, nil
+	}
+	ad, err := polyMul(a.num, b.den)
+	if err != nil {
+		return ratfn{}, err
+	}
+	cb, err := polyMul(b.num, a.den)
+	if err != nil {
+		return ratfn{}, err
+	}
+	n, err := polyAdd(ad, cb)
+	if err != nil {
+		return ratfn{}, err
+	}
+	d, err := polyMul(a.den, b.den)
+	if err != nil {
+		return ratfn{}, err
+	}
+	return ratfn{num: n, den: d}, nil
+}
+
+func rfNeg(a ratfn) ratfn { return ratfn{num: polyNeg(a.num), den: a.den} }
+
+func rfSub(a, b ratfn) (ratfn, error) { return rfAdd(a, rfNeg(b)) }
+
+func rfMul(a, b ratfn) (ratfn, error) {
+	n, err := polyMul(a.num, b.num)
+	if err != nil {
+		return ratfn{}, err
+	}
+	d, err := polyMul(a.den, b.den)
+	if err != nil {
+		return ratfn{}, err
+	}
+	return ratfn{num: n, den: d}, nil
+}
+
+func rfDiv(a, b ratfn) (ratfn, error) {
+	if b.num.isZero() {
+		return ratfn{}, fmt.Errorf("validate: division by syntactic zero")
+	}
+	n, err := polyMul(a.num, b.den)
+	if err != nil {
+		return ratfn{}, err
+	}
+	d, err := polyMul(a.den, b.num)
+	if err != nil {
+		return ratfn{}, err
+	}
+	return ratfn{num: n, den: d}, nil
+}
+
+// rfEqual decides equality by cross-multiplication.
+func rfEqual(a, b ratfn) (bool, error) {
+	l, err := polyMul(a.num, b.den)
+	if err != nil {
+		return false, err
+	}
+	r, err := polyMul(b.num, a.den)
+	if err != nil {
+		return false, err
+	}
+	return polyEqual(l, r), nil
+}
+
+// canon renders a canonical atom key for a rational function: both
+// numerator and denominator are scaled by the same factor — the inverse of
+// the denominator's lexicographically-least coefficient — so that P/Q and
+// (cP)/(cQ) share a key. (Representations differing by a polynomial factor
+// remain distinct; that only costs completeness for nested opaque terms,
+// never soundness.)
+func (r ratfn) canon() string {
+	if r.num.isZero() {
+		return "0"
+	}
+	ms := make([]string, 0, len(r.den))
+	for m := range r.den {
+		ms = append(ms, string(m))
+	}
+	sort.Strings(ms)
+	scale := new(big.Rat).Inv(r.den[monomial(ms[0])])
+	return r.num.canonScaled(scale) + "/" + r.den.canonScaled(scale)
+}

@@ -1,0 +1,296 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"diospyros/internal/expr"
+	"diospyros/internal/kernel"
+)
+
+// Check validates that the optimized program computes the specification's
+// outputs: it first runs the exact equivalence decision; if the kernel's
+// normal form is too large (ErrInconclusive), it falls back to randomized
+// differential testing, mirroring how the paper treats validation as an
+// optional, best-effort safety net outside the trusted core.
+func Check(l *kernel.Lifted, optimized *expr.Expr) error {
+	err := Equivalent(l.Spec, optimized, l.OutputLen())
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrInconclusive) {
+		return Randomized(l, optimized, 64, 1)
+	}
+	return err
+}
+
+// Equivalent decides, over the theory of real arithmetic, whether the
+// first n output elements of the two programs are equal for all inputs.
+// sqrt, sgn, and user functions are uninterpreted (keyed by canonicalized
+// arguments), exactly as in the paper's validator: programs that are equal
+// only because of special function semantics are reported inequivalent.
+func Equivalent(spec, optimized *expr.Expr, n int) error {
+	specLanes, err := Lanes(spec)
+	if err != nil {
+		return fmt.Errorf("validate: spec: %w", err)
+	}
+	optLanes, err := Lanes(optimized)
+	if err != nil {
+		return fmt.Errorf("validate: optimized program: %w", err)
+	}
+	if len(specLanes) < n || len(optLanes) < n {
+		return fmt.Errorf("validate: need %d outputs; spec has %d, optimized has %d",
+			n, len(specLanes), len(optLanes))
+	}
+	at := newAtoms()
+	nm := &normalizer{atoms: at, memo: map[*expr.Expr]ratfn{}}
+	for i := 0; i < n; i++ {
+		a, err := nm.norm(specLanes[i])
+		if err != nil {
+			return err
+		}
+		b, err := nm.norm(optLanes[i])
+		if err != nil {
+			return err
+		}
+		eq, err := rfEqual(a, b)
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return fmt.Errorf("validate: output %d differs:\n  spec: %s\n  opt:  %s",
+				i, specLanes[i], optLanes[i])
+		}
+	}
+	return nil
+}
+
+// Lanes flattens a program into one scalar expression per output element,
+// expanding vector operations lane-wise.
+func Lanes(e *expr.Expr) ([]*expr.Expr, error) {
+	switch e.Op {
+	case expr.OpList, expr.OpVec:
+		var out []*expr.Expr
+		for _, a := range e.Args {
+			ls, err := Lanes(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ls...)
+		}
+		return out, nil
+	case expr.OpConcat:
+		l, err := Lanes(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := Lanes(e.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case expr.OpVecAdd, expr.OpVecMinus, expr.OpVecMul, expr.OpVecDiv:
+		sop, _ := e.Op.ScalarEquivalent()
+		a, err := Lanes(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := Lanes(e.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("lane mismatch in %s: %d vs %d", e.Op, len(a), len(b))
+		}
+		out := make([]*expr.Expr, len(a))
+		for i := range a {
+			out[i] = &expr.Expr{Op: sop, Args: []*expr.Expr{a[i], b[i]}}
+		}
+		return out, nil
+	case expr.OpVecMAC:
+		acc, err := Lanes(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := Lanes(e.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		c, err := Lanes(e.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		if len(acc) != len(b) || len(b) != len(c) {
+			return nil, fmt.Errorf("lane mismatch in VecMAC")
+		}
+		out := make([]*expr.Expr, len(acc))
+		for i := range acc {
+			out[i] = expr.Add(acc[i], expr.Mul(b[i], c[i]))
+		}
+		return out, nil
+	case expr.OpVecNeg, expr.OpVecSqrt, expr.OpVecSgn:
+		sop, _ := e.Op.ScalarEquivalent()
+		a, err := Lanes(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*expr.Expr, len(a))
+		for i := range a {
+			out[i] = &expr.Expr{Op: sop, Args: []*expr.Expr{a[i]}}
+		}
+		return out, nil
+	case expr.OpVecFunc:
+		var argLanes [][]*expr.Expr
+		n := -1
+		for _, a := range e.Args {
+			ls, err := Lanes(a)
+			if err != nil {
+				return nil, err
+			}
+			if n == -1 {
+				n = len(ls)
+			} else if len(ls) != n {
+				return nil, fmt.Errorf("lane mismatch in VecFunc %s", e.Sym)
+			}
+			argLanes = append(argLanes, ls)
+		}
+		out := make([]*expr.Expr, n)
+		for i := 0; i < n; i++ {
+			args := make([]*expr.Expr, len(argLanes))
+			for j := range argLanes {
+				args[j] = argLanes[j][i]
+			}
+			out[i] = expr.Func(e.Sym, args...)
+		}
+		return out, nil
+	default:
+		// A scalar expression is a single lane.
+		return []*expr.Expr{e}, nil
+	}
+}
+
+type normalizer struct {
+	atoms *atoms
+	memo  map[*expr.Expr]ratfn
+}
+
+func (nm *normalizer) norm(e *expr.Expr) (ratfn, error) {
+	if r, ok := nm.memo[e]; ok {
+		return r, nil
+	}
+	r, err := nm.normUncached(e)
+	if err != nil {
+		return ratfn{}, err
+	}
+	nm.memo[e] = r
+	return r, nil
+}
+
+func (nm *normalizer) normUncached(e *expr.Expr) (ratfn, error) {
+	switch e.Op {
+	case expr.OpLit:
+		r := new(big.Rat)
+		if _, ok := r.SetString(fmt.Sprintf("%g", e.Lit)); !ok {
+			r.SetFloat64(e.Lit)
+		}
+		return rfConst(r), nil
+	case expr.OpSym:
+		return rfAtom(nm.atoms.id("sym:" + e.Sym)), nil
+	case expr.OpGet:
+		return rfAtom(nm.atoms.id(fmt.Sprintf("get:%s:%d", e.Sym, e.Idx))), nil
+	case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv:
+		a, err := nm.norm(e.Args[0])
+		if err != nil {
+			return ratfn{}, err
+		}
+		b, err := nm.norm(e.Args[1])
+		if err != nil {
+			return ratfn{}, err
+		}
+		switch e.Op {
+		case expr.OpAdd:
+			return rfAdd(a, b)
+		case expr.OpSub:
+			return rfSub(a, b)
+		case expr.OpMul:
+			return rfMul(a, b)
+		default:
+			return rfDiv(a, b)
+		}
+	case expr.OpNeg:
+		a, err := nm.norm(e.Args[0])
+		if err != nil {
+			return ratfn{}, err
+		}
+		return rfNeg(a), nil
+	case expr.OpSqrt, expr.OpSgn:
+		a, err := nm.norm(e.Args[0])
+		if err != nil {
+			return ratfn{}, err
+		}
+		return rfAtom(nm.atoms.id(e.Op.String() + "(" + a.canon() + ")")), nil
+	case expr.OpFunc:
+		key := "fn:" + e.Sym + "("
+		for i, arg := range e.Args {
+			a, err := nm.norm(arg)
+			if err != nil {
+				return ratfn{}, err
+			}
+			if i > 0 {
+				key += ","
+			}
+			key += a.canon()
+		}
+		key += ")"
+		return rfAtom(nm.atoms.id(key)), nil
+	}
+	return ratfn{}, fmt.Errorf("validate: cannot normalize %s (vector op in scalar position?)", e.Op)
+}
+
+// Randomized differentially tests the two programs on random inputs drawn
+// per the kernel's declared shapes. It is used when the exact check is
+// inconclusive and directly by tests.
+func Randomized(l *kernel.Lifted, optimized *expr.Expr, trials int, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	n := l.OutputLen()
+	for trial := 0; trial < trials; trial++ {
+		env := expr.NewEnv()
+		for _, d := range l.Inputs {
+			arr := make([]float64, d.Len())
+			for i := range arr {
+				arr[i] = r.Float64()*4 - 2
+			}
+			env.Arrays[d.Name] = arr
+		}
+		want, err := l.Spec.Eval(env)
+		if err != nil {
+			return fmt.Errorf("validate: spec eval: %w", err)
+		}
+		got, err := optimized.Eval(env)
+		if err != nil {
+			return fmt.Errorf("validate: optimized eval: %w", err)
+		}
+		ws, gs := want.AsSlice(), got.AsSlice()
+		if len(ws) < n || len(gs) < n {
+			return fmt.Errorf("validate: output count mismatch: spec %d, optimized %d, need %d", len(ws), len(gs), n)
+		}
+		for i := 0; i < n; i++ {
+			if !closeEnough(ws[i], gs[i]) {
+				return fmt.Errorf("validate: trial %d output %d: spec %g, optimized %g", trial, i, ws[i], gs[i])
+			}
+		}
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*math.Max(scale, 1)
+}

@@ -1,0 +1,284 @@
+package vir
+
+import (
+	"fmt"
+	"math"
+
+	"diospyros/internal/expr"
+)
+
+// Interp executes the IR program over concrete inputs, returning the output
+// arrays. It is the reference semantics for the IR, used to check that LVN
+// and DCE preserve behaviour and that code generation agrees with it.
+func Interp(p *Program, inputs map[string][]float64, funcs map[string]func([]float64) float64) (map[string][]float64, error) {
+	w := p.Width
+	scalars := make([]float64, p.NumValues())
+	vectors := make([][]float64, p.NumValues())
+	// All arrays are allocated width-padded — rounded up to a multiple of
+	// the vector width plus one extra vector of slack — matching the memory
+	// layout the code generator assumes: vector loads of any in-bounds
+	// element's aligned window, and unaligned loads whose live lanes are in
+	// bounds, are legal. Over-allocating buffers this way is standard
+	// practice for DSP vector code.
+	pad := func(n int) int { return (n+w-1)/w*w + w }
+	arrays := map[string][]float64{}
+	for _, d := range p.Inputs {
+		data, ok := inputs[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("vir: missing input %q", d.Name)
+		}
+		if len(data) != d.Len() {
+			return nil, fmt.Errorf("vir: input %q has %d elements, want %d", d.Name, len(data), d.Len())
+		}
+		arr := make([]float64, pad(d.Len()))
+		copy(arr, data)
+		arrays[d.Name] = arr
+	}
+	outputs := map[string][]float64{}
+	for _, d := range p.Outputs {
+		arr := make([]float64, pad(d.Len()))
+		arrays[d.Name] = arr
+		outputs[d.Name] = arr[:d.Len()]
+	}
+
+	vec := func(id ID) ([]float64, error) {
+		if v := vectors[id]; v != nil {
+			return v, nil
+		}
+		return nil, fmt.Errorf("vir: %%%d is not a vector value", id)
+	}
+
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case ConstS:
+			scalars[in.ID] = in.F
+		case LoadS:
+			arr, ok := arrays[in.Array]
+			if !ok {
+				return nil, fmt.Errorf("vir: unknown array %q", in.Array)
+			}
+			if in.Off < 0 || in.Off >= len(arr) {
+				return nil, fmt.Errorf("vir: load.s %s+%d out of bounds", in.Array, in.Off)
+			}
+			scalars[in.ID] = arr[in.Off]
+		case AddS:
+			scalars[in.ID] = scalars[in.Args[0]] + scalars[in.Args[1]]
+		case SubS:
+			scalars[in.ID] = scalars[in.Args[0]] - scalars[in.Args[1]]
+		case MulS:
+			scalars[in.ID] = scalars[in.Args[0]] * scalars[in.Args[1]]
+		case DivS:
+			scalars[in.ID] = scalars[in.Args[0]] / scalars[in.Args[1]]
+		case NegS:
+			scalars[in.ID] = -scalars[in.Args[0]]
+		case SqrtS:
+			scalars[in.ID] = math.Sqrt(scalars[in.Args[0]])
+		case SgnS:
+			scalars[in.ID] = expr.Sign(scalars[in.Args[0]])
+		case CallS:
+			fn, ok := funcs[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("vir: no semantics for %q", in.Sym)
+			}
+			args := make([]float64, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = scalars[a]
+			}
+			scalars[in.ID] = fn(args)
+		case ExtractLane:
+			v, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if in.Lane < 0 || in.Lane >= w {
+				return nil, fmt.Errorf("vir: extract lane %d out of range", in.Lane)
+			}
+			scalars[in.ID] = v[in.Lane]
+
+		case ConstV:
+			if len(in.Fs) != w {
+				return nil, fmt.Errorf("vir: const.v arity %d != width %d", len(in.Fs), w)
+			}
+			vectors[in.ID] = append([]float64(nil), in.Fs...)
+		case LoadV:
+			arr, ok := arrays[in.Array]
+			if !ok {
+				return nil, fmt.Errorf("vir: unknown array %q", in.Array)
+			}
+			if in.Off < 0 || in.Off+w > len(arr) {
+				return nil, fmt.Errorf("vir: load.v %s+%d out of bounds", in.Array, in.Off)
+			}
+			vectors[in.ID] = append([]float64(nil), arr[in.Off:in.Off+w]...)
+		case Splat:
+			v := make([]float64, w)
+			for k := range v {
+				v[k] = scalars[in.Args[0]]
+			}
+			vectors[in.ID] = v
+		case Insert:
+			src, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if in.Lane < 0 || in.Lane >= w {
+				return nil, fmt.Errorf("vir: insert lane %d out of range", in.Lane)
+			}
+			v := append([]float64(nil), src...)
+			v[in.Lane] = scalars[in.Args[1]]
+			vectors[in.ID] = v
+		case Shuffle:
+			src, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if len(in.Idx) != w {
+				return nil, fmt.Errorf("vir: shuffle needs %d indices", w)
+			}
+			v := make([]float64, w)
+			for k, idx := range in.Idx {
+				if idx < 0 || idx >= w {
+					return nil, fmt.Errorf("vir: shuffle index %d out of range", idx)
+				}
+				v[k] = src[idx]
+			}
+			vectors[in.ID] = v
+		case Select:
+			a, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := vec(in.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			if len(in.Idx) != w {
+				return nil, fmt.Errorf("vir: select needs %d indices", w)
+			}
+			v := make([]float64, w)
+			for k, idx := range in.Idx {
+				switch {
+				case idx >= 0 && idx < w:
+					v[k] = a[idx]
+				case idx >= w && idx < 2*w:
+					v[k] = b[idx-w]
+				default:
+					return nil, fmt.Errorf("vir: select index %d out of range", idx)
+				}
+			}
+			vectors[in.ID] = v
+		case AddV, SubV, MulV, DivV:
+			a, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := vec(in.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			v := make([]float64, w)
+			for k := 0; k < w; k++ {
+				switch in.Op {
+				case AddV:
+					v[k] = a[k] + b[k]
+				case SubV:
+					v[k] = a[k] - b[k]
+				case MulV:
+					v[k] = a[k] * b[k]
+				default:
+					v[k] = a[k] / b[k]
+				}
+			}
+			vectors[in.ID] = v
+		case MacV:
+			acc, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			a, err := vec(in.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := vec(in.Args[2])
+			if err != nil {
+				return nil, err
+			}
+			v := make([]float64, w)
+			for k := 0; k < w; k++ {
+				v[k] = acc[k] + a[k]*b[k]
+			}
+			vectors[in.ID] = v
+		case NegV, SqrtV, SgnV:
+			a, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			v := make([]float64, w)
+			for k := 0; k < w; k++ {
+				switch in.Op {
+				case NegV:
+					v[k] = -a[k]
+				case SqrtV:
+					v[k] = math.Sqrt(a[k])
+				default:
+					v[k] = expr.Sign(a[k])
+				}
+			}
+			vectors[in.ID] = v
+		case CallV:
+			fn, ok := funcs[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("vir: no semantics for %q", in.Sym)
+			}
+			args := make([][]float64, len(in.Args))
+			for i, a := range in.Args {
+				av, err := vec(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = av
+			}
+			v := make([]float64, w)
+			for k := 0; k < w; k++ {
+				lane := make([]float64, len(args))
+				for i := range args {
+					lane[i] = args[i][k]
+				}
+				v[k] = fn(lane)
+			}
+			vectors[in.ID] = v
+
+		case StoreS:
+			arr, ok := arrays[in.Array]
+			if !ok {
+				return nil, fmt.Errorf("vir: unknown array %q", in.Array)
+			}
+			if in.Off < 0 || in.Off >= len(arr) {
+				return nil, fmt.Errorf("vir: store.s %s+%d out of bounds", in.Array, in.Off)
+			}
+			arr[in.Off] = scalars[in.Args[0]]
+		case StoreV, StoreVN:
+			arr, ok := arrays[in.Array]
+			if !ok {
+				return nil, fmt.Errorf("vir: unknown array %q", in.Array)
+			}
+			v, err := vec(in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			n := w
+			if in.Op == StoreVN {
+				n = in.N
+				if n < 1 || n > w {
+					return nil, fmt.Errorf("vir: store.vn n=%d out of range", n)
+				}
+			}
+			if in.Off < 0 || in.Off+n > len(arr) {
+				return nil, fmt.Errorf("vir: store %s+%d..+%d out of bounds", in.Array, in.Off, n)
+			}
+			copy(arr[in.Off:in.Off+n], v[:n])
+		default:
+			return nil, fmt.Errorf("vir: unimplemented op %s", in.Op)
+		}
+	}
+	return outputs, nil
+}

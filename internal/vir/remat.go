@@ -1,0 +1,169 @@
+package vir
+
+// Rematerialize bounds register live ranges in straight-line code: when a
+// value produced by a cheap, pure data-movement cone (loads, constants,
+// splats, shuffles, selects) is next used more than `window` emitted
+// instructions after its previous touch, the cone is cloned at the use
+// instead of keeping the register alive across the gap. This is the
+// live-range splitting a real compiler's register allocator performs via
+// rematerialization, and it is what lets LVN-deduplicated loads be shared
+// *locally* without inflating register pressure globally.
+//
+// The pass runs after Optimize (a later LVN would undo it). Cloned cones
+// are bounded to maxConeSize instructions so rematerialization never
+// re-introduces meaningful compute.
+func Rematerialize(p *Program, window int) *Program {
+	if window <= 0 {
+		window = 32
+	}
+	const maxConeSize = 4
+
+	defs := make([]*Instr, p.NumValues())
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.ID != None {
+			defs[in.ID] = in
+		}
+	}
+	rematable := func(id ID) bool {
+		d := defs[id]
+		if d == nil {
+			return false
+		}
+		switch d.Op {
+		case LoadV, LoadS, ConstV, ConstS, Splat, Shuffle, Select:
+			return true
+		}
+		return false
+	}
+	// coneSize counts the instructions a clone of id would need,
+	// following remat-able args only.
+	var coneSize func(id ID, budget int) int
+	coneSize = func(id ID, budget int) int {
+		if budget <= 0 {
+			return 1 << 20
+		}
+		n := 1
+		for _, a := range defs[id].Args {
+			if rematable(a) {
+				n += coneSize(a, budget-n)
+			}
+		}
+		return n
+	}
+
+	out := NewProgram(p.Name, p.Width, p.Inputs, p.Outputs)
+	remap := make([]ID, p.NumValues())
+	lastTouch := make([]int, p.NumValues())
+	for i := range remap {
+		remap[i] = None
+		lastTouch[i] = -1
+	}
+
+	// clone re-emits the movement cone for id, returning the fresh value.
+	var clone func(id ID) ID
+	clone = func(id ID) ID {
+		d := defs[id]
+		n := *d
+		n.Args = make([]ID, len(d.Args))
+		for i, a := range d.Args {
+			if rematable(a) && coneSize(a, maxConeSize) <= maxConeSize {
+				n.Args[i] = clone(a)
+			} else {
+				// Keep referencing the live (or revived) original.
+				n.Args[i] = remap[a]
+				lastTouch[a] = len(out.Instrs)
+			}
+		}
+		return out.Emit(n)
+	}
+
+	for i := range p.Instrs {
+		in := p.Instrs[i]
+		n := in
+		n.Args = make([]ID, len(in.Args))
+		for j, a := range in.Args {
+			stale := lastTouch[a] >= 0 && len(out.Instrs)-lastTouch[a] > window
+			if stale && rematable(a) && coneSize(a, maxConeSize) <= maxConeSize {
+				fresh := clone(a)
+				remap[a] = fresh
+				lastTouch[a] = len(out.Instrs) - 1
+			}
+			n.Args[j] = remap[a]
+			lastTouch[a] = len(out.Instrs)
+		}
+		id := out.Emit(n)
+		if in.ID != None {
+			remap[in.ID] = id
+			lastTouch[in.ID] = len(out.Instrs) - 1
+		}
+	}
+	return out
+}
+
+// MaxLive computes the peak number of simultaneously live vector and
+// scalar values in the straight-line program — the register pressure a
+// linear-scan allocator faces.
+func MaxLive(p *Program) (vectors, scalars int) {
+	lastUse := make([]int, p.NumValues())
+	for i := range lastUse {
+		lastUse[i] = -1
+	}
+	for i, in := range p.Instrs {
+		for _, a := range in.Args {
+			lastUse[a] = i
+		}
+	}
+	liveV, liveS := 0, 0
+	// endsAt[i] lists values whose last use is instruction i.
+	endsAt := make([][]ID, len(p.Instrs))
+	for id, end := range lastUse {
+		if end >= 0 {
+			endsAt[end] = append(endsAt[end], ID(id))
+		}
+	}
+	isVec := make([]bool, p.NumValues())
+	for _, in := range p.Instrs {
+		if in.ID != None {
+			isVec[in.ID] = in.Op.IsVectorValue()
+		}
+	}
+	for i, in := range p.Instrs {
+		if in.ID != None && lastUse[in.ID] >= 0 {
+			if isVec[in.ID] {
+				liveV++
+				if liveV > vectors {
+					vectors = liveV
+				}
+			} else {
+				liveS++
+				if liveS > scalars {
+					scalars = liveS
+				}
+			}
+		}
+		for _, id := range endsAt[i] {
+			if isVec[id] {
+				liveV--
+			} else {
+				liveS--
+			}
+		}
+	}
+	return vectors, scalars
+}
+
+// BoundPressure applies Rematerialize with progressively smaller windows
+// until the program's register pressure fits the budget (or the window
+// floor is reached). Programs already within budget are returned unchanged,
+// so small kernels pay nothing.
+func BoundPressure(p *Program, budget int) *Program {
+	for window := 128; window >= 8; window /= 2 {
+		v, s := MaxLive(p)
+		if v <= budget && s <= budget {
+			return p
+		}
+		p = Rematerialize(p, window)
+	}
+	return p
+}
