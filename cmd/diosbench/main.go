@@ -13,13 +13,18 @@
 //	diosbench -validate     # translation validation of all 21 kernels
 //
 // Use -only <substring> to restrict kernel-suite experiments, and -v for
-// per-kernel progress.
+// per-kernel progress. -trace adds the per-kernel pipeline stage tables to
+// the Table 1 output; -json emits Table 1 rows (with traces) as JSON.
+// Experiments run under a context cancelled by SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	diospyros "diospyros"
@@ -41,6 +46,8 @@ func main() {
 		only       = flag.String("only", "", "restrict suite experiments to kernels whose ID contains this string")
 		verbose    = flag.Bool("v", false, "per-kernel progress")
 		timeout    = flag.Duration("timeout", 0, "equality saturation timeout (default: paper's 180s)")
+		trace      = flag.Bool("trace", false, "print per-kernel pipeline stage tables with Table 1")
+		jsonOut    = flag.Bool("json", false, "emit Table 1 rows (with traces) as JSON")
 	)
 	flag.Parse()
 
@@ -49,6 +56,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := diospyros.Options{Timeout: *timeout}
 	progress := func(string) {}
@@ -64,7 +74,7 @@ func main() {
 	needF5 := *all || *figure5 || *motivating
 	if needF5 {
 		fmt.Println("== Figure 5: compiling and simulating the 21-kernel suite ==")
-		rows, err := bench.Figure5(bench.F5Options{Opts: opts, Only: *only, Progress: progress})
+		rows, err := bench.Figure5(bench.F5Options{Opts: opts, Only: *only, Progress: progress, Context: ctx})
 		if err != nil {
 			fail(err)
 		}
@@ -72,12 +82,23 @@ func main() {
 	}
 
 	if *all || *table1 {
-		fmt.Println("== Table 1 ==")
-		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Progress: progress})
+		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Progress: progress, Context: ctx})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(bench.FormatTable1(rows))
+		if *jsonOut {
+			raw, err := bench.Table1JSON(rows)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(string(raw))
+		} else {
+			fmt.Println("== Table 1 ==")
+			fmt.Println(bench.FormatTable1(rows))
+			if *trace {
+				fmt.Print(bench.FormatTable1Traces(rows))
+			}
+		}
 	}
 	if *all || *figure5 {
 		fmt.Println(bench.FormatFigure5(f5rows))
@@ -94,7 +115,7 @@ func main() {
 		fmt.Println(bench.FormatFigure6(rows))
 	}
 	if *all || *expertCmp {
-		res, err := bench.Expert(opts)
+		res, err := bench.ExpertContext(ctx, opts)
 		if err != nil {
 			fail(err)
 		}
@@ -102,7 +123,7 @@ func main() {
 	}
 	if *all || *ablation {
 		fmt.Println("== §5.6 ablation: compiling the suite twice ==")
-		rows, sum, err := bench.Ablation(bench.F5Options{Opts: opts, Only: *only, Progress: progress})
+		rows, sum, err := bench.Ablation(bench.F5Options{Opts: opts, Only: *only, Progress: progress, Context: ctx})
 		if err != nil {
 			fail(err)
 		}
@@ -110,7 +131,7 @@ func main() {
 	}
 	if *all || *costAbl {
 		fmt.Println("== cost-model ablation: compiling the suite twice ==")
-		rows, err := bench.CostModelAblation(bench.F5Options{Opts: opts, Only: *only, Progress: progress})
+		rows, err := bench.CostModelAblation(bench.F5Options{Opts: opts, Only: *only, Progress: progress, Context: ctx})
 		if err != nil {
 			fail(err)
 		}
@@ -126,7 +147,7 @@ func main() {
 	if *all || *validate {
 		fmt.Println("== translation validation (§3.4) ==")
 		start := time.Now()
-		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Validate: true, Progress: progress})
+		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Validate: true, Progress: progress, Context: ctx})
 		if err != nil {
 			fail(err)
 		}

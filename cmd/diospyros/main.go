@@ -13,14 +13,22 @@
 //	diospyros -run -seed 7 kernel.dios   # simulate on random inputs
 //	diospyros -validate kernel.dios      # translation validation
 //	diospyros -no-vector kernel.dios     # §5.6 scalar ablation
+//	diospyros -trace kernel.dios         # per-stage pipeline telemetry
+//	diospyros -json kernel.dios          # the trace as JSON (no C output)
+//
+// The compile runs under a context cancelled by SIGINT/SIGTERM, so an
+// interrupted equality saturation stops within one iteration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	diospyros "diospyros"
@@ -44,6 +52,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "equality saturation timeout (default 180s)")
 		nodeLimit = flag.Int("node-limit", 0, "e-graph node limit (default 10,000,000)")
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
+		trace     = flag.Bool("trace", false, "print the per-stage pipeline trace to stderr")
+		jsonOut   = flag.Bool("json", false, "print the pipeline trace as JSON to stdout instead of C")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,6 +65,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *dumpSpec {
 		lifted, err := diospyros.Lift(string(src))
@@ -72,7 +85,7 @@ func main() {
 		g := egraph.New()
 		g.AddExpr(lifted.Spec)
 		cfg := rules.Config{Width: 4, EnableAC: *enableAC, DisableVector: *noVector}
-		egraph.Run(g, cfg.Rules(), egraph.Limits{
+		egraph.RunContext(ctx, g, cfg.Rules(), egraph.Limits{
 			MaxIterations: 30, MaxNodes: 100_000, Timeout: *timeout,
 		})
 		fmt.Print(g.ToDot())
@@ -86,11 +99,14 @@ func main() {
 		EnableAC:           *enableAC,
 		Validate:           *validate,
 	}
-	res, err := diospyros.CompileSource(string(src), opts)
+	res, err := diospyros.CompileSourceContext(ctx, string(src), opts)
 	if err != nil {
 		fatal(err)
 	}
 
+	if *trace {
+		fmt.Fprint(os.Stderr, res.Trace.Format())
+	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "kernel %s: compiled in %v (%.1f MB allocated)\n",
 			res.Kernel.Name, res.Compile.Round(time.Millisecond), float64(res.AllocBytes)/1e6)
@@ -103,6 +119,17 @@ func main() {
 	}
 
 	switch {
+	case *jsonOut:
+		raw, err := res.Trace.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(raw))
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(res.C), 0o644); err != nil {
+				fatal(err)
+			}
+		}
 	case *dumpVIR:
 		fmt.Print(res.VIR.String())
 	case *dumpAsm:

@@ -21,21 +21,18 @@
 package diospyros
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"diospyros/internal/cost"
 	"diospyros/internal/egraph"
 	"diospyros/internal/expr"
-	"diospyros/internal/extract"
 	"diospyros/internal/frontend"
 	"diospyros/internal/isa"
 	"diospyros/internal/kernel"
-	"diospyros/internal/lower"
-	"diospyros/internal/rules"
 	"diospyros/internal/sim"
-	"diospyros/internal/validate"
+	"diospyros/internal/telemetry"
 	"diospyros/internal/vir"
 )
 
@@ -116,11 +113,12 @@ type Result struct {
 	Program   *isa.Program   // FG3-lite assembly (nil when Width != isa.Width)
 	C         string         // C-with-intrinsics text
 
-	Saturation egraph.Report // equality-saturation statistics (Table 1)
-	Cost       float64       // abstract cost of the extracted program
-	Compile    time.Duration // end-to-end compile time (Table 1)
-	AllocBytes uint64        // heap allocated during compilation (Table 1 memory proxy)
-	Validated  bool          // set when Options.Validate passed
+	Saturation egraph.Report    // equality-saturation statistics (Table 1)
+	Trace      *telemetry.Trace // per-stage spans and per-iteration gauges
+	Cost       float64          // abstract cost of the extracted program
+	Compile    time.Duration    // end-to-end compile time (Table 1)
+	AllocBytes uint64           // heap allocated during compilation (Table 1 memory proxy)
+	Validated  bool             // set when Options.Validate passed
 }
 
 // Lift lifts a kernel written in the imperative text language.
@@ -134,104 +132,59 @@ func Lift(src string) (*kernel.Lifted, error) {
 
 // CompileSource compiles a kernel written in the imperative text language.
 func CompileSource(src string, opts Options) (*Result, error) {
-	l, err := Lift(src)
-	if err != nil {
-		return nil, err
-	}
-	return Compile(l, opts)
+	return CompileSourceContext(context.Background(), src, opts)
+}
+
+// CompileSourceContext is CompileSource under a caller context; see
+// CompileContext. The lift stage appears as an extra span in the trace.
+func CompileSourceContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	return compile(ctx, &compileState{opts: opts.withDefaults(), src: src})
 }
 
 // Compile runs the full Diospyros pipeline on a lifted kernel.
 func Compile(l *kernel.Lifted, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	start := time.Now()
-	var ms0 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
+	return CompileContext(context.Background(), l, opts)
+}
 
-	// Equality saturation (§3.2–3.3).
-	cfg := rules.Config{
-		Width:         opts.Width,
-		EnableAC:      opts.EnableAC,
-		DisableVector: opts.DisableVectorRules,
-	}
-	ruleSet := cfg.Rules()
-	for _, r := range opts.ExtraRules {
-		rw, err := egraph.ParseRewrite(r.Name, r.LHS, r.RHS)
-		if err != nil {
-			return nil, fmt.Errorf("diospyros: %w", err)
-		}
-		ruleSet = append(ruleSet, rw)
-	}
-	g := egraph.New()
-	root := g.AddExpr(l.Spec)
-	limits := egraph.Limits{
-		MaxNodes:      opts.NodeLimit,
-		MaxIterations: opts.MaxIterations,
-		Timeout:       opts.Timeout,
-	}
-	if opts.UseBackoff {
-		limits.Backoff = &egraph.Backoff{}
-	}
-	rep := egraph.Run(g, ruleSet, limits)
+// CompileContext runs the full Diospyros pipeline on a lifted kernel under
+// a caller-supplied context. Cancelling the context aborts the compile at
+// the next stage boundary — and, during equality saturation, within one
+// iteration — returning an error wrapping ctx.Err(). Options.Timeout still
+// bounds only the saturation stage (internally a context deadline); when
+// it expires the partially saturated e-graph is extracted as before, so
+// budget-limited compiles (Figure 6) keep producing code.
+func CompileContext(ctx context.Context, l *kernel.Lifted, opts Options) (*Result, error) {
+	return compile(ctx, &compileState{opts: opts.withDefaults(), lifted: l})
+}
 
-	// Extraction (§3.4).
-	model := opts.CostModel
-	if model == nil {
-		if opts.DisableVectorRules {
-			model = cost.ScalarOnly{}
-		} else {
-			model = cost.Diospyros{Width: opts.Width}
-		}
+// compile drives the staged pipeline and assembles the Result with its
+// telemetry trace.
+func compile(ctx context.Context, st *compileState) (*Result, error) {
+	rec := telemetry.NewRecorder()
+	if err := compilePipeline().Run(ctx, st, rec); err != nil {
+		return nil, fmt.Errorf("diospyros: %w", err)
 	}
-	if len(opts.OpCost) > 0 {
-		model = cost.Overrides{Base: model, PerOp: opts.OpCost}
-	}
-	ex := extract.New(g, model)
-	optimized, err := ex.Expr(root)
-	if err != nil {
-		return nil, fmt.Errorf("diospyros: extraction failed: %w", err)
-	}
+	rec.SetIterations(st.report.Iters)
+	rec.SetStopReason(string(st.report.Reason))
+	rec.Count("saturate.applied", int64(st.report.Applied))
+	rec.Count("saturate.nodes", int64(st.report.Nodes))
+	rec.Count("saturate.classes", int64(st.report.Classes))
+	rec.Count("vir.instrs", int64(len(st.ir.Instrs)))
+	trace := rec.Finish()
 
-	// Lowering and backend optimization (§4).
-	raw, err := lower.Lower(l.Name, optimized, opts.Width, l)
-	if err != nil {
-		return nil, fmt.Errorf("diospyros: lowering failed: %w", err)
-	}
-	// Backend cleanup, then live-range splitting only when the kernel's
-	// register pressure exceeds a realistic file (56 of 64 registers,
-	// leaving headroom for the code generator's temporaries).
-	ir := vir.BoundPressure(vir.Optimize(raw), 56)
-
-	res := &Result{
-		Kernel:     l,
-		Optimized:  optimized,
-		VIR:        ir,
-		C:          "",
-		Saturation: rep,
-		Cost:       ex.Cost(root),
-	}
-	res.C = codegenC(ir)
-	if opts.Width == isa.Width {
-		p, err := codegenISA(ir)
-		if err != nil {
-			return nil, fmt.Errorf("diospyros: code generation failed: %w", err)
-		}
-		res.Program = p
-	}
-
-	// Translation validation (§3.4).
-	if opts.Validate {
-		if err := validate.Check(l, optimized); err != nil {
-			return nil, fmt.Errorf("diospyros: translation validation failed: %w", err)
-		}
-		res.Validated = true
-	}
-
-	var ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms1)
-	res.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
-	res.Compile = time.Since(start)
-	return res, nil
+	return &Result{
+		Kernel:     st.lifted,
+		Optimized:  st.optimized,
+		VIR:        st.ir,
+		Program:    st.program,
+		C:          st.cText,
+		Saturation: st.report,
+		Trace:      trace,
+		Cost:       st.extractor.Cost(st.root),
+		Compile:    trace.Duration,
+		AllocBytes: trace.AllocBytes,
+		Validated:  st.validated,
+	}, nil
 }
 
 // Run executes the compiled kernel on the FG3-lite simulator.

@@ -2,13 +2,19 @@ package diospyros
 
 import (
 	"diospyros/internal/codegen"
+	"diospyros/internal/expr"
 	"diospyros/internal/isa"
 	"diospyros/internal/kernel"
 	"diospyros/internal/sim"
+	"diospyros/internal/validate"
 	"diospyros/internal/vir"
 )
 
-// Thin indirections keeping diospyros.go free of backend imports.
+// Thin indirections keeping the pipeline stages free of backend imports.
+
+func validateCheck(l *kernel.Lifted, optimized *expr.Expr) error {
+	return validate.Check(l, optimized)
+}
 
 func codegenC(ir *vir.Program) string { return codegen.ToC(ir) }
 

@@ -41,7 +41,7 @@ func Ablation(opt F5Options) ([]AblRow, AblSummary, error) {
 		}
 		scalarOpts := opt.Opts
 		scalarOpts.DisableVectorRules = true
-		res, err := diospyros.Compile(k.Lift(), scalarOpts)
+		res, err := diospyros.CompileContext(opt.ctx(), k.Lift(), scalarOpts)
 		if err != nil {
 			return nil, AblSummary{}, fmt.Errorf("%s (scalar): %w", k.ID, err)
 		}
@@ -134,7 +134,7 @@ func CostModelAblation(opt F5Options) ([]CostRow, error) {
 		run := func(model cost.Model) (int64, error) {
 			opts := opt.Opts
 			opts.CostModel = model
-			res, err := diospyros.Compile(k.Lift(), opts)
+			res, err := diospyros.CompileContext(opt.ctx(), k.Lift(), opts)
 			if err != nil {
 				return 0, err
 			}

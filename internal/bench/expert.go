@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,8 +28,13 @@ type ExpertResult struct {
 
 // Expert runs the §5.4 expert comparison.
 func Expert(opts diospyros.Options) (*ExpertResult, error) {
+	return ExpertContext(context.Background(), opts)
+}
+
+// ExpertContext is Expert under a caller context.
+func ExpertContext(ctx context.Context, opts diospyros.Options) (*ExpertResult, error) {
 	l := kernels.MatMul(2, 3, 3)
-	res, err := diospyros.Compile(l, opts)
+	res, err := diospyros.CompileContext(ctx, l, opts)
 	if err != nil {
 		return nil, err
 	}

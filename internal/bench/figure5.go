@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -60,6 +61,17 @@ type F5Options struct {
 	Only string
 	// Verbose receives progress lines (may be nil).
 	Progress func(string)
+	// Context cancels the run between (and during) kernel compiles.
+	// Nil means context.Background().
+	Context context.Context
+}
+
+// ctx returns the run's context, defaulting to Background.
+func (o F5Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 // Figure5 compiles and simulates every suite kernel under all systems,
@@ -161,7 +173,7 @@ func runKernelAllSystems(k Kernel, opt F5Options) (F5Row, error) {
 	}
 
 	// Diospyros.
-	res, err := diospyros.Compile(lifted, opt.Opts)
+	res, err := diospyros.CompileContext(opt.ctx(), lifted, opt.Opts)
 	if err != nil {
 		return F5Row{}, fmt.Errorf("diospyros: %w", err)
 	}

@@ -83,7 +83,8 @@ func compileMatMul10(opts diospyros.Options) (int64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	return sres.Cycles, res.Saturation.Saturated(), nil
+	// Saturation outcome comes from the compilation trace (Table 1 path).
+	return sres.Cycles, res.Trace.Saturated(), nil
 }
 
 func figure6Nature() (F6Row, error) {

@@ -1,15 +1,19 @@
 package bench
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
 
 	diospyros "diospyros"
 	"diospyros/internal/egraph"
+	"diospyros/internal/telemetry"
 )
 
-// T1Row is one line of Table 1: per-kernel compilation statistics.
+// T1Row is one line of Table 1: per-kernel compilation statistics, read
+// off the compilation trace.
 type T1Row struct {
 	Kernel     Kernel
 	Time       time.Duration
@@ -20,6 +24,8 @@ type T1Row struct {
 	Reason     egraph.StopReason
 	TimedOut   bool
 	Validated  bool
+	// Trace is the full stage/iteration breakdown behind the row.
+	Trace *telemetry.Trace
 }
 
 // T1Options parameterizes the Table 1 run.
@@ -28,11 +34,19 @@ type T1Options struct {
 	Only     string
 	Validate bool
 	Progress func(string)
+	// Context cancels the run between (and during) kernel compiles.
+	// Nil means context.Background().
+	Context context.Context
 }
 
 // Table1 compiles every suite kernel, reporting compile time and memory
-// (the paper's Table 1 columns) plus e-graph statistics.
+// (the paper's Table 1 columns) plus e-graph statistics. All numbers come
+// from the per-compilation telemetry trace rather than being recomputed.
 func Table1(opt T1Options) ([]T1Row, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts := opt.Opts
 	opts.Validate = opt.Validate
 	var rows []T1Row
@@ -40,20 +54,26 @@ func Table1(opt T1Options) ([]T1Row, error) {
 		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
 			continue
 		}
-		res, err := diospyros.Compile(k.Lift(), opts)
+		res, err := diospyros.CompileContext(ctx, k.Lift(), opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", k.ID, err)
 		}
+		tr := res.Trace
+		nodes, classes := res.Saturation.Nodes, res.Saturation.Classes
+		if g, ok := tr.FinalGauge(); ok {
+			nodes, classes = g.Nodes, g.Classes
+		}
 		row := T1Row{
 			Kernel:     k,
-			Time:       res.Compile,
-			AllocBytes: res.AllocBytes,
-			Nodes:      res.Saturation.Nodes,
-			Classes:    res.Saturation.Classes,
-			Iterations: res.Saturation.Iterations,
-			Reason:     res.Saturation.Reason,
-			TimedOut:   !res.Saturation.Saturated(),
+			Time:       tr.Duration,
+			AllocBytes: tr.AllocBytes,
+			Nodes:      nodes,
+			Classes:    classes,
+			Iterations: len(tr.Iterations),
+			Reason:     egraph.StopReason(tr.StopReason),
+			TimedOut:   !tr.Saturated(),
 			Validated:  res.Validated,
+			Trace:      tr,
 		}
 		rows = append(rows, row)
 		if opt.Progress != nil {
@@ -83,4 +103,46 @@ func FormatTable1(rows []T1Row) string {
 	}
 	b.WriteString("† equality saturation stopped before reaching a fixpoint\n")
 	return b.String()
+}
+
+// FormatTable1Traces renders the per-kernel stage breakdown behind the
+// table (the diosbench -trace view).
+func FormatTable1Traces(rows []T1Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "-- %s --\n%s", r.Kernel.ID, r.Trace.Format())
+	}
+	return b.String()
+}
+
+// t1JSONRow is the machine-readable form of a T1Row.
+type t1JSONRow struct {
+	ID         string           `json:"id"`
+	Family     string           `json:"family"`
+	Size       string           `json:"size"`
+	RefLOC     int              `json:"ref_loc"`
+	TimeNS     int64            `json:"time_ns"`
+	AllocBytes uint64           `json:"alloc_bytes"`
+	Nodes      int              `json:"nodes"`
+	Classes    int              `json:"classes"`
+	Iterations int              `json:"iterations"`
+	Reason     string           `json:"stop_reason"`
+	Validated  bool             `json:"validated,omitempty"`
+	Trace      *telemetry.Trace `json:"trace,omitempty"`
+}
+
+// Table1JSON renders the rows (with their traces) as JSON for machine
+// consumption (the diosbench -json flag).
+func Table1JSON(rows []T1Row) ([]byte, error) {
+	out := make([]t1JSONRow, len(rows))
+	for i, r := range rows {
+		out[i] = t1JSONRow{
+			ID: r.Kernel.ID, Family: r.Kernel.Family, Size: r.Kernel.Size,
+			RefLOC: r.Kernel.RefLOC, TimeNS: int64(r.Time),
+			AllocBytes: r.AllocBytes, Nodes: r.Nodes, Classes: r.Classes,
+			Iterations: r.Iterations, Reason: string(r.Reason),
+			Validated: r.Validated, Trace: r.Trace,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
 }

@@ -1,0 +1,45 @@
+package egraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"diospyros/internal/expr"
+)
+
+// saturationWorkload builds a deep sum-of-products expression and a rule
+// set (distribution, commutativity, associativity) whose match counts grow
+// quickly — a proxy for the large-kernel saturation runs whose apply-phase
+// throughput the runner's cancellation checks must not tax.
+func saturationWorkload(depth int) (*expr.Expr, []Rewrite) {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "(+ (* x%d y%d) ", i, i)
+	}
+	b.WriteString("z")
+	b.WriteString(strings.Repeat(")", depth))
+	rules := []Rewrite{
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("commute-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+		MustRewrite("commute-mul", "(* ?a ?b)", "(* ?b ?a)"),
+		MustRewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+	}
+	return expr.MustParse(b.String()), rules
+}
+
+// BenchmarkSaturationThroughput measures raw runner throughput (applies/s)
+// on an explosive workload. Guards the amortized deadline/cancellation
+// check in the apply loop: per-apply bookkeeping shows up directly here.
+func BenchmarkSaturationThroughput(b *testing.B) {
+	e, rules := saturationWorkload(12)
+	var applied int
+	for i := 0; i < b.N; i++ {
+		g := New()
+		g.AddExpr(e)
+		rep := Run(g, rules, Limits{MaxIterations: 4, MaxNodes: 50_000})
+		applied = rep.Applied
+	}
+	b.ReportMetric(float64(applied), "applies")
+	b.ReportMetric(float64(applied)*float64(b.N)/b.Elapsed().Seconds(), "applies/s")
+}

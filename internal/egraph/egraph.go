@@ -66,10 +66,10 @@ type EGraph struct {
 
 	keyBuf []byte
 
-	// NodeLimit, when nonzero, makes Add a no-op (returning the would-be
-	// canonical class when the node exists, or creating nothing and
-	// reporting failure) once the graph holds that many nodes. The
-	// saturation runner uses this to stop gracefully.
+	// nodeCount is the running total of e-nodes across all classes
+	// (NumNodes). The graph itself never refuses an Add; size limits are
+	// enforced by the saturation runner, which polls NumNodes against
+	// Limits.MaxNodes and stops the run with StopNodeLimit.
 	nodeCount int
 }
 

@@ -1,8 +1,12 @@
 package egraph
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
+
+	"diospyros/internal/telemetry"
 )
 
 // Rewrite is one rewrite rule: a searcher that finds matches in the graph
@@ -86,14 +90,24 @@ const (
 	StopTimeout   StopReason = "timeout"    // wall-clock limit reached
 	StopNodeLimit StopReason = "node-limit" // e-graph grew past the node limit
 	StopIterLimit StopReason = "iter-limit" // iteration cap reached
+	StopCancelled StopReason = "cancelled"  // the run's context was cancelled
 )
+
+// ctxCheckInterval amortizes context checks in the apply phase: polling
+// after every single match apply is measurable overhead on large kernels,
+// so the deadline/cancellation poll happens once per this many applies.
+// The cheap node-limit counter is still checked on every apply.
+const ctxCheckInterval = 256
 
 // Limits bounds a saturation run. Zero values mean "no limit" except
 // MaxIterations, which defaults to 64 (a safety net).
 type Limits struct {
 	MaxNodes      int
 	MaxIterations int
-	Timeout       time.Duration
+	// Timeout bounds wall-clock time. RunContext implements it as a
+	// context deadline derived from the caller's context; callers with a
+	// context are encouraged to express deadlines there instead.
+	Timeout time.Duration
 	// Backoff, when non-nil, schedules rules with egg's backoff policy:
 	// rules that over-match are banned with exponentially growing bans.
 	Backoff *Backoff
@@ -109,18 +123,39 @@ type Report struct {
 	Duration   time.Duration
 	// PerRule counts successful applications per rule name.
 	PerRule map[string]int
+	// Iters holds one gauge per iteration (e-graph size after rebuild,
+	// per-rule match/apply counts); it feeds the compilation trace. An
+	// iteration cut short by a limit still contributes a partial gauge.
+	Iters []telemetry.IterationGauge
 }
 
 // Saturated reports whether the run reached a fixpoint (the e-graph
 // represents all programs reachable with the rule set).
 func (r Report) Saturated() bool { return r.Reason == StopSaturated }
 
-// Run performs equality saturation: it repeatedly searches all rules,
-// applies every match, and rebuilds, until saturation or a limit is hit.
-// Matches are searched before any are applied within an iteration, so rule
-// application order within an iteration cannot hide matches (the phase-
-// ordering-free property of equality saturation, paper §3.3).
+// Run performs equality saturation without external cancellation; see
+// RunContext. Limits.Timeout, if set, still bounds wall-clock time.
 func Run(g *EGraph, rules []Rewrite, lim Limits) Report {
+	return RunContext(context.Background(), g, rules, lim)
+}
+
+// RunContext performs equality saturation: it repeatedly searches all
+// rules, applies every match, and rebuilds, until saturation or a limit is
+// hit. Matches are searched before any are applied within an iteration, so
+// rule application order within an iteration cannot hide matches (the
+// phase-ordering-free property of equality saturation, paper §3.3).
+//
+// The context is honored in both the search phase (between rules) and the
+// apply phase (every ctxCheckInterval applies), so cancelling it stops the
+// run well within one iteration. A cancelled run reports StopCancelled
+// (StopTimeout when the context's deadline expired) and always leaves the
+// e-graph rebuilt, so partial results remain extractable.
+func RunContext(ctx context.Context, g *EGraph, rules []Rewrite, lim Limits) Report {
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	maxIter := lim.MaxIterations
 	if maxIter == 0 {
@@ -128,26 +163,46 @@ func Run(g *EGraph, rules []Rewrite, lim Limits) Report {
 	}
 	rep := Report{PerRule: map[string]int{}, Reason: StopIterLimit}
 
-	deadline := time.Time{}
-	if lim.Timeout > 0 {
-		deadline = start.Add(lim.Timeout)
+	done := ctx.Done()
+	ctxStop := func() (StopReason, bool) {
+		select {
+		case <-done:
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return StopTimeout, true
+			}
+			return StopCancelled, true
+		default:
+			return "", false
+		}
 	}
-	over := func() (StopReason, bool) {
-		if lim.MaxNodes > 0 && g.NumNodes() >= lim.MaxNodes {
-			return StopNodeLimit, true
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return StopTimeout, true
-		}
-		return "", false
+	nodesOver := func() bool { return lim.MaxNodes > 0 && g.NumNodes() >= lim.MaxNodes }
+
+	var gauge telemetry.IterationGauge
+	var iterStart time.Time
+	flushGauge := func() {
+		gauge.Nodes = g.NumNodes()
+		gauge.Classes = g.NumClasses()
+		gauge.Duration = time.Since(iterStart)
+		rep.Iters = append(rep.Iters, gauge)
 	}
 
+loop:
 	for iter := 0; iter < maxIter; iter++ {
-		if reason, stop := over(); stop {
+		if nodesOver() {
+			rep.Reason = StopNodeLimit
+			break
+		}
+		if reason, stop := ctxStop(); stop {
 			rep.Reason = reason
 			break
 		}
 		rep.Iterations = iter + 1
+		iterStart = time.Now()
+		gauge = telemetry.IterationGauge{
+			Iteration:      iter + 1,
+			PerRuleMatches: map[string]int{},
+			PerRuleApplied: map[string]int{},
+		}
 
 		type found struct {
 			rule    Rewrite
@@ -167,31 +222,48 @@ func Run(g *EGraph, rules []Rewrite, lim Limits) Report {
 			}
 			if len(ms) > 0 {
 				all = append(all, found{r, ms})
+				gauge.Matches += len(ms)
+				gauge.PerRuleMatches[r.Name()] += len(ms)
 			}
-			if reason, stop := over(); stop {
+			if reason, stop := ctxStop(); stop {
 				// Searching can be the expensive phase for custom
-				// searchers; honor the deadline between rules.
+				// searchers; honor cancellation between rules.
 				rep.Reason = reason
-				goto done
+				flushGauge()
+				break loop
 			}
 		}
 
 		changed := false
+		sinceCheck := 0
 		for _, f := range all {
 			for _, m := range f.matches {
 				if f.rule.Apply(g, m) {
 					changed = true
 					rep.Applied++
 					rep.PerRule[f.rule.Name()]++
+					gauge.Applied++
+					gauge.PerRuleApplied[f.rule.Name()]++
 				}
-				if reason, stop := over(); stop {
+				if nodesOver() {
 					g.Rebuild()
-					rep.Reason = reason
-					goto done
+					rep.Reason = StopNodeLimit
+					flushGauge()
+					break loop
+				}
+				if sinceCheck++; sinceCheck >= ctxCheckInterval {
+					sinceCheck = 0
+					if reason, stop := ctxStop(); stop {
+						g.Rebuild()
+						rep.Reason = reason
+						flushGauge()
+						break loop
+					}
 				}
 			}
 		}
 		g.Rebuild()
+		flushGauge()
 		if !changed && !ruleSkipped &&
 			(lim.Backoff == nil || !lim.Backoff.anyBanned(iter+1)) {
 			rep.Reason = StopSaturated
@@ -199,7 +271,6 @@ func Run(g *EGraph, rules []Rewrite, lim Limits) Report {
 		}
 	}
 
-done:
 	if g.NeedsRebuild() {
 		g.Rebuild()
 	}

@@ -1,0 +1,90 @@
+// Package pipeline drives a staged compilation: an ordered list of named
+// stages sharing one mutable state value and one context.Context. Each
+// stage runs under a telemetry span (wall time + alloc delta), the context
+// is checked between stages so an external cancellation stops the compile
+// at the next stage boundary (stages that can block long, like equality
+// saturation, additionally honor the context internally), and a failing
+// stage aborts the run with its name attached to the error.
+//
+// The package is generic over the state type so the compiler, the bench
+// harness, and future servers can each define their own state without
+// this package importing any of them.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"diospyros/internal/telemetry"
+)
+
+// Stage is one named step of a pipeline.
+type Stage[S any] struct {
+	// Name labels the stage in telemetry spans and errors.
+	Name string
+	// Skip, when non-nil and true for the state, omits the stage (no
+	// span is recorded).
+	Skip func(S) bool
+	// Run does the work. It receives the pipeline's context and must
+	// return promptly once ctx is cancelled if it blocks for long.
+	Run func(ctx context.Context, state S) error
+}
+
+// StageError wraps a stage failure with the stage's name.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string { return fmt.Sprintf("%s: %v", e.Stage, e.Err) }
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Pipeline is an immutable ordered stage list.
+type Pipeline[S any] struct {
+	stages []Stage[S]
+}
+
+// New builds a pipeline from stages, run in the given order.
+func New[S any](stages ...Stage[S]) *Pipeline[S] {
+	for _, s := range stages {
+		if s.Name == "" || s.Run == nil {
+			panic("pipeline: stage needs a name and a Run function")
+		}
+	}
+	return &Pipeline[S]{stages: stages}
+}
+
+// Stages returns the stage names in execution order.
+func (p *Pipeline[S]) Stages() []string {
+	names := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Run executes the stages in order against state, recording one telemetry
+// span per executed stage on rec (which may be nil). It stops at the first
+// failing stage, or before the next stage once ctx is cancelled, returning
+// a *StageError either way.
+func (p *Pipeline[S]) Run(ctx context.Context, state S, rec *telemetry.Recorder) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, st := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return &StageError{Stage: st.Name, Err: err}
+		}
+		if st.Skip != nil && st.Skip(state) {
+			continue
+		}
+		span := rec.StartSpan(st.Name)
+		err := st.Run(ctx, state)
+		span.End()
+		if err != nil {
+			return &StageError{Stage: st.Name, Err: err}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"diospyros/internal/telemetry"
+)
+
+type state struct{ log []string }
+
+func appendStage(name string) Stage[*state] {
+	return Stage[*state]{Name: name, Run: func(_ context.Context, s *state) error {
+		s.log = append(s.log, name)
+		return nil
+	}}
+}
+
+func TestRunInOrderWithSpans(t *testing.T) {
+	p := New(appendStage("a"), appendStage("b"), appendStage("c"))
+	s := &state{}
+	rec := telemetry.NewRecorder()
+	if err := p.Run(context.Background(), s, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(s.log); got != "[a b c]" {
+		t.Fatalf("ran %v", s.log)
+	}
+	tr := rec.Finish()
+	if len(tr.Stages) != 3 || tr.Stages[0].Name != "a" || tr.Stages[2].Name != "c" {
+		t.Fatalf("spans = %+v", tr.Stages)
+	}
+	if got := fmt.Sprint(p.Stages()); got != "[a b c]" {
+		t.Fatalf("Stages() = %v", p.Stages())
+	}
+}
+
+func TestSkipOmitsStageAndSpan(t *testing.T) {
+	skip := appendStage("b")
+	skip.Skip = func(*state) bool { return true }
+	p := New(appendStage("a"), skip, appendStage("c"))
+	s := &state{}
+	rec := telemetry.NewRecorder()
+	if err := p.Run(context.Background(), s, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(s.log); got != "[a c]" {
+		t.Fatalf("ran %v", s.log)
+	}
+	if _, ok := rec.Finish().Stage("b"); ok {
+		t.Error("skipped stage recorded a span")
+	}
+}
+
+func TestStageErrorStopsRun(t *testing.T) {
+	boom := errors.New("boom")
+	p := New(appendStage("a"),
+		Stage[*state]{Name: "bad", Run: func(context.Context, *state) error { return boom }},
+		appendStage("c"))
+	s := &state{}
+	err := p.Run(context.Background(), s, nil)
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "bad" || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := fmt.Sprint(s.log); got != "[a]" {
+		t.Fatalf("ran %v after failure", s.log)
+	}
+}
+
+func TestCancelledContextStopsBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(
+		Stage[*state]{Name: "a", Run: func(_ context.Context, s *state) error {
+			s.log = append(s.log, "a")
+			cancel() // cancelled mid-pipeline: next stage must not run
+			return nil
+		}},
+		appendStage("b"))
+	s := &state{}
+	err := p.Run(ctx, s, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "b" {
+		t.Fatalf("err = %v, want StageError for b", err)
+	}
+	if got := fmt.Sprint(s.log); got != "[a]" {
+		t.Fatalf("ran %v", s.log)
+	}
+}
+
+func TestNilContextAndNilRecorder(t *testing.T) {
+	p := New(appendStage("a"))
+	s := &state{}
+	if err := p.Run(nil, s, nil); err != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatal(err)
+	}
+	if len(s.log) != 1 {
+		t.Fatalf("ran %v", s.log)
+	}
+}
+
+func TestNewRejectsAnonymousStage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nameless stage")
+		}
+	}()
+	New(Stage[*state]{Run: func(context.Context, *state) error { return nil }})
+}

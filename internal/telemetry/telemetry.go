@@ -1,0 +1,238 @@
+// Package telemetry provides lightweight compilation telemetry: named
+// spans (per-stage wall time and heap-allocation delta), counters, and
+// per-iteration equality-saturation gauges (nodes, classes, per-rule
+// match/apply counts).
+//
+// A Recorder collects events while a pipeline runs and is folded into an
+// immutable Trace at the end. The Trace is attached to every compilation
+// result, drives Table 1 of the evaluation, and is what the -trace/-json
+// CLI flags print. All Recorder methods are nil-receiver safe so callers
+// that do not want telemetry can pass a nil recorder.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one completed pipeline stage: wall time plus the heap allocated
+// while it ran (cumulative runtime.MemStats.TotalAlloc delta, the Table 1
+// memory proxy).
+type Span struct {
+	Name       string        `json:"name"`
+	Start      time.Duration `json:"start_offset"` // offset from trace start
+	Duration   time.Duration `json:"duration"`
+	AllocBytes uint64        `json:"alloc_bytes"`
+}
+
+// IterationGauge is a per-iteration snapshot of an equality-saturation
+// run: e-graph size after the iteration's rebuild and the iteration's rule
+// activity. Maps hold only rules with nonzero counts.
+type IterationGauge struct {
+	Iteration      int            `json:"iteration"` // 1-based
+	Nodes          int            `json:"nodes"`
+	Classes        int            `json:"classes"`
+	Matches        int            `json:"matches"`
+	Applied        int            `json:"applied"`
+	PerRuleMatches map[string]int `json:"per_rule_matches,omitempty"`
+	PerRuleApplied map[string]int `json:"per_rule_applied,omitempty"`
+	Duration       time.Duration  `json:"duration"`
+}
+
+// Trace is the full telemetry record of one compilation: the stage spans
+// in execution order, the saturation iteration gauges, free-form counters,
+// and end-to-end totals.
+type Trace struct {
+	Stages     []Span           `json:"stages"`
+	Iterations []IterationGauge `json:"iterations,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	// StopReason mirrors egraph.StopReason for the saturation stage
+	// ("saturated", "timeout", "cancelled", "node-limit", "iter-limit").
+	StopReason string `json:"stop_reason,omitempty"`
+	// Duration and AllocBytes cover the whole pipeline, including
+	// per-stage telemetry overhead not attributed to any span.
+	Duration   time.Duration `json:"duration"`
+	AllocBytes uint64        `json:"alloc_bytes"`
+}
+
+// Stage returns the span with the given name, if recorded.
+func (t *Trace) Stage(name string) (Span, bool) {
+	for _, s := range t.Stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
+// StageDuration returns the wall time of the named stage (0 if absent).
+func (t *Trace) StageDuration(name string) time.Duration {
+	s, _ := t.Stage(name)
+	return s.Duration
+}
+
+// StagesTotal sums all stage durations. It is at most Duration; the gap is
+// inter-stage bookkeeping.
+func (t *Trace) StagesTotal() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Stages {
+		sum += s.Duration
+	}
+	return sum
+}
+
+// Counter returns a named counter value (0 if absent).
+func (t *Trace) Counter(name string) int64 {
+	return t.Counters[name]
+}
+
+// FinalGauge returns the last iteration gauge — the e-graph's final size.
+func (t *Trace) FinalGauge() (IterationGauge, bool) {
+	if len(t.Iterations) == 0 {
+		return IterationGauge{}, false
+	}
+	return t.Iterations[len(t.Iterations)-1], true
+}
+
+// PerRuleApplied sums successful rule applications per rule name over all
+// iterations.
+func (t *Trace) PerRuleApplied() map[string]int {
+	out := map[string]int{}
+	for _, g := range t.Iterations {
+		for name, n := range g.PerRuleApplied {
+			out[name] += n
+		}
+	}
+	return out
+}
+
+// Saturated reports whether the saturation stage reached a fixpoint.
+func (t *Trace) Saturated() bool { return t.StopReason == "saturated" }
+
+// JSON renders the trace for machine consumption (the -json CLI flag).
+func (t *Trace) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
+
+// Format renders the human-readable stage table printed by -trace.
+func (t *Trace) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s\n", "stage", "time", "alloc", "share")
+	for _, s := range t.Stages {
+		share := 0.0
+		if t.Duration > 0 {
+			share = 100 * float64(s.Duration) / float64(t.Duration)
+		}
+		fmt.Fprintf(&b, "%-10s %12v %9.2f MB %7.1f%%\n",
+			s.Name, s.Duration.Round(time.Microsecond),
+			float64(s.AllocBytes)/1e6, share)
+	}
+	fmt.Fprintf(&b, "%-10s %12v %9.2f MB\n", "total",
+		t.Duration.Round(time.Microsecond), float64(t.AllocBytes)/1e6)
+	if len(t.Iterations) > 0 {
+		g := t.Iterations[len(t.Iterations)-1]
+		fmt.Fprintf(&b, "saturation: %d iterations, %d nodes, %d classes, stopped: %s\n",
+			len(t.Iterations), g.Nodes, g.Classes, t.StopReason)
+	}
+	if len(t.Counters) > 0 {
+		names := make([]string, 0, len(t.Counters))
+		for n := range t.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "counter %-24s %d\n", n, t.Counters[n])
+		}
+	}
+	return b.String()
+}
+
+// Recorder accumulates telemetry during a pipeline run. It is not safe
+// for concurrent use; a compilation is single-threaded. The zero value is
+// not usable — call NewRecorder, which stamps the trace start.
+type Recorder struct {
+	start      time.Time
+	startAlloc uint64
+	trace      Trace
+}
+
+// NewRecorder starts a trace at the current time and heap state.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now(), startAlloc: totalAlloc()}
+}
+
+// ActiveSpan is a span in progress; End completes and records it.
+type ActiveSpan struct {
+	rec        *Recorder
+	name       string
+	started    time.Time
+	startAlloc uint64
+}
+
+// StartSpan opens a named span. Spans are expected to be sequential and
+// non-overlapping (pipeline stages).
+func (r *Recorder) StartSpan(name string) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	return &ActiveSpan{rec: r, name: name, started: time.Now(), startAlloc: totalAlloc()}
+}
+
+// End completes the span and appends it to the trace.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.rec.trace.Stages = append(s.rec.trace.Stages, Span{
+		Name:       s.name,
+		Start:      s.started.Sub(s.rec.start),
+		Duration:   time.Since(s.started),
+		AllocBytes: totalAlloc() - s.startAlloc,
+	})
+}
+
+// Count adds delta to a named counter.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	if r.trace.Counters == nil {
+		r.trace.Counters = map[string]int64{}
+	}
+	r.trace.Counters[name] += delta
+}
+
+// SetIterations attaches the saturation iteration gauges.
+func (r *Recorder) SetIterations(gs []IterationGauge) {
+	if r == nil {
+		return
+	}
+	r.trace.Iterations = gs
+}
+
+// SetStopReason records why the saturation stage ended.
+func (r *Recorder) SetStopReason(reason string) {
+	if r == nil {
+		return
+	}
+	r.trace.StopReason = reason
+}
+
+// Finish stamps the end-to-end totals and returns the completed trace.
+// The recorder must not be used afterwards.
+func (r *Recorder) Finish() *Trace {
+	if r == nil {
+		return &Trace{}
+	}
+	r.trace.Duration = time.Since(r.start)
+	r.trace.AllocBytes = totalAlloc() - r.startAlloc
+	return &r.trace
+}
+
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}

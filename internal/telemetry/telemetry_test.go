@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderSpansAndTotals(t *testing.T) {
+	r := NewRecorder()
+	s := r.StartSpan("saturate")
+	time.Sleep(2 * time.Millisecond)
+	_ = make([]byte, 1<<20)
+	s.End()
+	s = r.StartSpan("extract")
+	time.Sleep(time.Millisecond)
+	s.End()
+	r.Count("applied", 40)
+	r.Count("applied", 2)
+	r.SetStopReason("saturated")
+	tr := r.Finish()
+
+	if len(tr.Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(tr.Stages))
+	}
+	sat, ok := tr.Stage("saturate")
+	if !ok || sat.Duration < 2*time.Millisecond {
+		t.Fatalf("saturate span wrong: %+v (ok=%v)", sat, ok)
+	}
+	if sat.AllocBytes < 1<<20 {
+		t.Errorf("saturate alloc delta %d, want >= 1MB", sat.AllocBytes)
+	}
+	if tr.Stages[1].Start < tr.Stages[0].Start+tr.Stages[0].Duration {
+		t.Errorf("spans overlap: %+v", tr.Stages)
+	}
+	if got := tr.StagesTotal(); got > tr.Duration {
+		t.Errorf("stage sum %v exceeds total %v", got, tr.Duration)
+	}
+	if tr.Counter("applied") != 42 {
+		t.Errorf("counter = %d, want 42", tr.Counter("applied"))
+	}
+	if !tr.Saturated() {
+		t.Error("Saturated() = false")
+	}
+	if _, ok := tr.Stage("missing"); ok {
+		t.Error("found a stage that was never recorded")
+	}
+}
+
+func TestTraceIterationHelpers(t *testing.T) {
+	tr := &Trace{Iterations: []IterationGauge{
+		{Iteration: 1, Nodes: 10, Classes: 8, PerRuleApplied: map[string]int{"a": 2, "b": 1}},
+		{Iteration: 2, Nodes: 30, Classes: 20, PerRuleApplied: map[string]int{"a": 3}},
+	}}
+	g, ok := tr.FinalGauge()
+	if !ok || g.Nodes != 30 || g.Iteration != 2 {
+		t.Fatalf("FinalGauge = %+v, %v", g, ok)
+	}
+	per := tr.PerRuleApplied()
+	if per["a"] != 5 || per["b"] != 1 {
+		t.Fatalf("PerRuleApplied = %v", per)
+	}
+	if _, ok := (&Trace{}).FinalGauge(); ok {
+		t.Error("FinalGauge on empty trace reported ok")
+	}
+}
+
+func TestTraceFormatAndJSON(t *testing.T) {
+	r := NewRecorder()
+	r.StartSpan("lower").End()
+	r.SetIterations([]IterationGauge{{Iteration: 1, Nodes: 5, Classes: 4}})
+	r.SetStopReason("timeout")
+	r.Count("saturate.applied", 7)
+	tr := r.Finish()
+
+	out := tr.Format()
+	for _, want := range []string{"lower", "total", "stopped: timeout", "saturate.applied"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.StopReason != "timeout" || len(back.Stages) != 1 || back.Counters["saturate.applied"] != 7 {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+}
+
+// A nil recorder must be a no-op so callers can opt out of telemetry.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.StartSpan("x").End()
+	r.Count("c", 1)
+	r.SetIterations(nil)
+	r.SetStopReason("saturated")
+	if tr := r.Finish(); tr == nil || len(tr.Stages) != 0 {
+		t.Fatalf("nil recorder Finish = %+v", tr)
+	}
+}

@@ -1,0 +1,177 @@
+package diospyros
+
+import (
+	"context"
+	"fmt"
+
+	"diospyros/internal/cost"
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+	"diospyros/internal/extract"
+	"diospyros/internal/frontend"
+	"diospyros/internal/isa"
+	"diospyros/internal/kernel"
+	"diospyros/internal/lower"
+	"diospyros/internal/pipeline"
+	"diospyros/internal/rules"
+	"diospyros/internal/vir"
+)
+
+// Stage names of the compile pipeline, in execution order. They label
+// telemetry spans in Result.Trace and prefix stage errors.
+const (
+	StageLift     = "lift"
+	StageSaturate = "saturate"
+	StageExtract  = "extract"
+	StageLower    = "lower"
+	StageCodegen  = "codegen"
+	StageValidate = "validate"
+)
+
+// compileState is the shared state threaded through the compile pipeline.
+// Each stage reads the fields of earlier stages and fills in its own.
+type compileState struct {
+	opts Options
+
+	src    string         // kernel source text ("" when lifted directly)
+	lifted *kernel.Lifted // after lift
+
+	g         *egraph.EGraph // after saturate
+	root      egraph.ClassID
+	report    egraph.Report
+	extractor *extract.Extractor // after extract
+	optimized *expr.Expr
+	ir        *vir.Program // after lower
+	cText     string       // after codegen
+	program   *isa.Program
+	validated bool // after validate
+}
+
+// compilePipeline assembles the paper's five-stage pipeline. The lift
+// stage is skipped when the caller hands over an already-lifted kernel;
+// validation is skipped unless requested.
+func compilePipeline() *pipeline.Pipeline[*compileState] {
+	return pipeline.New(
+		pipeline.Stage[*compileState]{
+			Name: StageLift,
+			Skip: func(st *compileState) bool { return st.lifted != nil },
+			Run:  stageLift,
+		},
+		pipeline.Stage[*compileState]{Name: StageSaturate, Run: stageSaturate},
+		pipeline.Stage[*compileState]{Name: StageExtract, Run: stageExtract},
+		pipeline.Stage[*compileState]{Name: StageLower, Run: stageLower},
+		pipeline.Stage[*compileState]{Name: StageCodegen, Run: stageCodegen},
+		pipeline.Stage[*compileState]{
+			Name: StageValidate,
+			Skip: func(st *compileState) bool { return !st.opts.Validate },
+			Run:  stageValidate,
+		},
+	)
+}
+
+// stageLift parses and symbolically evaluates kernel source (§3.1).
+func stageLift(_ context.Context, st *compileState) error {
+	k, err := frontend.Parse(st.src)
+	if err != nil {
+		return err
+	}
+	st.lifted, err = frontend.Lift(k)
+	return err
+}
+
+// stageSaturate runs equality saturation (§3.2–3.3). Options.Timeout
+// bounds only this stage, expressed as a context deadline inside
+// egraph.RunContext; hitting it is not an error (partial e-graphs still
+// extract, the Figure 6 behavior). External cancellation is.
+func stageSaturate(ctx context.Context, st *compileState) error {
+	cfg := rules.Config{
+		Width:         st.opts.Width,
+		EnableAC:      st.opts.EnableAC,
+		DisableVector: st.opts.DisableVectorRules,
+	}
+	ruleSet := cfg.Rules()
+	for _, r := range st.opts.ExtraRules {
+		rw, err := egraph.ParseRewrite(r.Name, r.LHS, r.RHS)
+		if err != nil {
+			return err
+		}
+		ruleSet = append(ruleSet, rw)
+	}
+	st.g = egraph.New()
+	st.root = st.g.AddExpr(st.lifted.Spec)
+	limits := egraph.Limits{
+		MaxNodes:      st.opts.NodeLimit,
+		MaxIterations: st.opts.MaxIterations,
+		Timeout:       st.opts.Timeout,
+	}
+	if st.opts.UseBackoff {
+		limits.Backoff = &egraph.Backoff{}
+	}
+	st.report = egraph.RunContext(ctx, st.g, ruleSet, limits)
+	if st.report.Reason == egraph.StopCancelled {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	}
+	return nil
+}
+
+// stageExtract picks the cheapest program from the e-graph (§3.4).
+func stageExtract(_ context.Context, st *compileState) error {
+	model := st.opts.CostModel
+	if model == nil {
+		if st.opts.DisableVectorRules {
+			model = cost.ScalarOnly{}
+		} else {
+			model = cost.Diospyros{Width: st.opts.Width}
+		}
+	}
+	if len(st.opts.OpCost) > 0 {
+		model = cost.Overrides{Base: model, PerOp: st.opts.OpCost}
+	}
+	st.extractor = extract.New(st.g, model)
+	optimized, err := st.extractor.Expr(st.root)
+	if err != nil {
+		return fmt.Errorf("extraction failed: %w", err)
+	}
+	st.optimized = optimized
+	return nil
+}
+
+// stageLower lowers the extracted program to the vector IR and runs the
+// backend cleanup (§4): LVN, shuffle fusion, DCE, then live-range
+// splitting only when the kernel's register pressure exceeds a realistic
+// file (56 of 64 registers, leaving headroom for codegen temporaries).
+func stageLower(_ context.Context, st *compileState) error {
+	raw, err := lower.Lower(st.lifted.Name, st.optimized, st.opts.Width, st.lifted)
+	if err != nil {
+		return fmt.Errorf("lowering failed: %w", err)
+	}
+	st.ir = vir.BoundPressure(vir.Optimize(raw), 56)
+	return nil
+}
+
+// stageCodegen emits C-with-intrinsics text and, at the native width,
+// FG3-lite assembly.
+func stageCodegen(_ context.Context, st *compileState) error {
+	st.cText = codegenC(st.ir)
+	if st.opts.Width == isa.Width {
+		p, err := codegenISA(st.ir)
+		if err != nil {
+			return fmt.Errorf("code generation failed: %w", err)
+		}
+		st.program = p
+	}
+	return nil
+}
+
+// stageValidate runs translation validation (§3.4) on the extracted
+// program against the lifted specification.
+func stageValidate(_ context.Context, st *compileState) error {
+	if err := validateCheck(st.lifted, st.optimized); err != nil {
+		return fmt.Errorf("translation validation failed: %w", err)
+	}
+	st.validated = true
+	return nil
+}
