@@ -12,10 +12,14 @@
 //	diosbench -theia        # §5.7 Theia case study
 //	diosbench -validate     # translation validation of all 21 kernels
 //
-// Use -only <substring> to restrict kernel-suite experiments, and -v for
-// per-kernel progress. -trace adds the per-kernel pipeline stage tables to
-// the Table 1 output; -json emits Table 1 rows (with traces) as JSON.
-// Experiments run under a context cancelled by SIGINT/SIGTERM.
+// Use -only <substrings> (comma-separated) to restrict kernel-suite
+// experiments, and -v for per-kernel progress. -trace adds the per-kernel
+// pipeline stage tables to the Table 1 output; -json emits Table 1 rows
+// (with traces) as JSON; -profile prints each kernel's simulated cycle
+// breakdown. -trace-out/-metrics-out export all compilation traces as
+// Chrome trace-event JSON / Prometheus text, and -bench-json writes
+// per-kernel cycles+profiles for regression tracking (the CI smoke job's
+// artifacts). Experiments run under a context cancelled by SIGINT/SIGTERM.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 
 	diospyros "diospyros"
 	"diospyros/internal/bench"
+	"diospyros/internal/telemetry"
 )
 
 func main() {
@@ -43,16 +48,21 @@ func main() {
 		costAbl    = flag.Bool("cost-ablation", false, "cost-model design-choice ablation")
 		theiaCase  = flag.Bool("theia", false, "§5.7 Theia case study")
 		validate   = flag.Bool("validate", false, "translation validation of the suite")
-		only       = flag.String("only", "", "restrict suite experiments to kernels whose ID contains this string")
+		only       = flag.String("only", "", "restrict suite experiments to kernels whose ID contains any comma-separated substring")
 		verbose    = flag.Bool("v", false, "per-kernel progress")
 		timeout    = flag.Duration("timeout", 0, "equality saturation timeout (default: paper's 180s)")
 		trace      = flag.Bool("trace", false, "print per-kernel pipeline stage tables with Table 1")
 		jsonOut    = flag.Bool("json", false, "emit Table 1 rows (with traces) as JSON")
+		profile    = flag.Bool("profile", false, "print per-kernel simulated cycle profiles (hotspots, slots, stalls)")
+		traceOut   = flag.String("trace-out", "", "write all kernels' compilation traces as Chrome trace-event JSON to this file")
+		metricOut  = flag.String("metrics-out", "", "write all kernels' compilation metrics in Prometheus text format to this file")
+		benchJSON  = flag.String("bench-json", "", "write per-kernel simulated cycles and profiles as JSON to this file")
 	)
 	flag.Parse()
 
+	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile
 	if !(*all || *table1 || *figure5 || *figure6 || *motivating || *expertCmp ||
-		*ablation || *costAbl || *theiaCase || *validate) {
+		*ablation || *costAbl || *theiaCase || *validate || exporting) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,22 +91,50 @@ func main() {
 		f5rows = rows
 	}
 
-	if *all || *table1 {
+	if *all || *table1 || exporting {
 		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Progress: progress, Context: ctx})
 		if err != nil {
 			fail(err)
 		}
-		if *jsonOut {
+		switch {
+		case *jsonOut:
 			raw, err := bench.Table1JSON(rows)
 			if err != nil {
 				fail(err)
 			}
 			fmt.Println(string(raw))
-		} else {
+		case *all || *table1:
 			fmt.Println("== Table 1 ==")
 			fmt.Println(bench.FormatTable1(rows))
 			if *trace {
 				fmt.Print(bench.FormatTable1Traces(rows))
+			}
+		}
+		if *profile {
+			fmt.Print(bench.FormatCycleProfiles(rows))
+		}
+		if *traceOut != "" {
+			raw, err := telemetry.ChromeTraces(bench.NamedTraces(rows))
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+				fail(err)
+			}
+		}
+		if *metricOut != "" {
+			text := telemetry.PrometheusTexts(bench.NamedTraces(rows))
+			if err := os.WriteFile(*metricOut, []byte(text), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		if *benchJSON != "" {
+			raw, err := bench.BenchJSON(rows)
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*benchJSON, raw, 0o644); err != nil {
+				fail(err)
 			}
 		}
 	}

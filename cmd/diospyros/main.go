@@ -15,6 +15,9 @@
 //	diospyros -no-vector kernel.dios     # §5.6 scalar ablation
 //	diospyros -trace kernel.dios         # per-stage pipeline telemetry
 //	diospyros -json kernel.dios          # the trace as JSON (no C output)
+//	diospyros -explain kernel.dios       # the rule chain justifying the output
+//	diospyros -trace-out t.json …        # Chrome trace-event JSON (Perfetto)
+//	diospyros -metrics-out m.prom …      # Prometheus text-format metrics
 //
 // The compile runs under a context cancelled by SIGINT/SIGTERM, so an
 // interrupted equality saturation stops within one iteration.
@@ -54,6 +57,9 @@ func main() {
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
 		trace     = flag.Bool("trace", false, "print the per-stage pipeline trace to stderr")
 		jsonOut   = flag.Bool("json", false, "print the pipeline trace as JSON to stdout instead of C")
+		explain   = flag.Bool("explain", false, "record rewrite provenance and print the rule chain justifying the output")
+		traceOut  = flag.String("trace-out", "", "write the pipeline trace as Chrome trace-event JSON to this file")
+		metricOut = flag.String("metrics-out", "", "write the pipeline trace in Prometheus text format to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -98,6 +104,7 @@ func main() {
 		DisableVectorRules: *noVector,
 		EnableAC:           *enableAC,
 		Validate:           *validate,
+		Explain:            *explain,
 	}
 	res, err := diospyros.CompileSourceContext(ctx, string(src), opts)
 	if err != nil {
@@ -106,6 +113,25 @@ func main() {
 
 	if *trace {
 		fmt.Fprint(os.Stderr, res.Trace.Format())
+	}
+	if *explain {
+		if e := res.Trace.Explanation; e != nil {
+			fmt.Fprint(os.Stderr, e.Format())
+		}
+	}
+	if *traceOut != "" {
+		raw, err := res.Trace.ChromeTrace(res.Kernel.Name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricOut != "" {
+		if err := os.WriteFile(*metricOut, []byte(res.Trace.PrometheusText(res.Kernel.Name)), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "kernel %s: compiled in %v (%.1f MB allocated)\n",

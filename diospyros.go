@@ -62,6 +62,11 @@ type Options struct {
 	UseBackoff bool
 	// Validate runs translation validation on the extracted program.
 	Validate bool
+	// Explain enables rewrite-provenance recording during saturation and
+	// attaches the extracted program's rule-chain report to the trace
+	// (Result.Trace.Explanation, the -explain CLI flag). Costs one map
+	// entry per rule-created e-node; off by default.
+	Explain bool
 	// CostModel overrides the extraction cost model.
 	CostModel cost.Model
 
@@ -170,6 +175,12 @@ func compile(ctx context.Context, st *compileState) (*Result, error) {
 	rec.Count("saturate.nodes", int64(st.report.Nodes))
 	rec.Count("saturate.classes", int64(st.report.Classes))
 	rec.Count("vir.instrs", int64(len(st.ir.Instrs)))
+	if st.opts.Explain {
+		rec.SetExplanation(buildExplanation(st.g, st.extractor, st.root, st.ir))
+		pn, pu := st.g.ProvenanceStats()
+		rec.Count("provenance.nodes", int64(pn))
+		rec.Count("provenance.unions", int64(pu))
+	}
 	trace := rec.Finish()
 
 	return &Result{

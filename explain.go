@@ -1,0 +1,115 @@
+package diospyros
+
+import (
+	"fmt"
+	"sort"
+
+	"diospyros/internal/egraph"
+	"diospyros/internal/expr"
+	"diospyros/internal/extract"
+	"diospyros/internal/telemetry"
+	"diospyros/internal/vir"
+)
+
+// buildExplanation produces the provenance report for the extracted
+// program (the -explain flag). It walks the chosen term from the root
+// e-class, looks up each selected e-node's recorded justification, and
+// aggregates the justifications into ordered rewrite steps: which rule
+// fired, in which saturation iteration, and how many extracted nodes it
+// accounts for. Nodes with no justification belong to the input program.
+//
+// Shuffles are not e-graph rewrites in this compiler — data movement is
+// synthesized during lowering (internal/lower/shuffle.go) — so the report
+// also lists the lowering-introduced Shuffle/Select instructions as
+// post-saturation steps ("lower-shuffle"/"lower-select", iteration 0).
+// Returns nil when provenance recording was not enabled.
+func buildExplanation(g *egraph.EGraph, ex *extract.Extractor, root egraph.ClassID, ir *vir.Program) *telemetry.Explanation {
+	if g == nil || !g.ProvenanceEnabled() || ex == nil {
+		return nil
+	}
+	e := &telemetry.Explanation{}
+	steps := map[string]*telemetry.ExplanationStep{}
+	seen := map[egraph.ClassID]bool{}
+	var walk func(egraph.ClassID)
+	walk = func(c egraph.ClassID) {
+		c = g.Find(c)
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		b, ok := ex.Best(c)
+		if !ok {
+			return
+		}
+		if j, ok := g.NodeProvenance(b.Node); ok {
+			e.RewrittenNodes++
+			key := fmt.Sprintf("%s\x00%d", j.Rule, j.Iteration)
+			s := steps[key]
+			if s == nil {
+				s = &telemetry.ExplanationStep{
+					Rule:      j.Rule,
+					Kind:      telemetry.ClassifyRule(j.Rule),
+					Iteration: j.Iteration,
+					Example:   renderENode(g, b.Node),
+				}
+				steps[key] = s
+			}
+			s.Nodes++
+		} else {
+			e.InputNodes++
+		}
+		for _, a := range b.Node.Args {
+			walk(a)
+		}
+	}
+	walk(root)
+
+	keys := make([]string, 0, len(steps))
+	for k := range steps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Steps = append(e.Steps, *steps[k])
+	}
+
+	// Lowering-introduced data movement: one step per instruction kind,
+	// with the first occurrence as the example.
+	if ir != nil {
+		shuffle := telemetry.ExplanationStep{Rule: "lower-shuffle", Kind: telemetry.KindShuffle}
+		sel := telemetry.ExplanationStep{Rule: "lower-select", Kind: telemetry.KindShuffle}
+		for _, in := range ir.Instrs {
+			switch in.Op {
+			case vir.Shuffle:
+				if shuffle.Nodes == 0 {
+					shuffle.Example = in.String()
+				}
+				shuffle.Nodes++
+			case vir.Select:
+				if sel.Nodes == 0 {
+					sel.Example = in.String()
+				}
+				sel.Nodes++
+			}
+		}
+		if shuffle.Nodes > 0 {
+			e.Steps = append(e.Steps, shuffle)
+		}
+		if sel.Nodes > 0 {
+			e.Steps = append(e.Steps, sel)
+		}
+	}
+
+	e.Sort()
+	return e
+}
+
+// renderENode prints an e-node with its child classes as placeholder
+// symbols (e.g. "(VecAdd c12 c37)") for the explanation's example column.
+func renderENode(g *egraph.EGraph, n egraph.ENode) string {
+	e := &expr.Expr{Op: n.Op, Lit: n.Lit, Sym: n.Sym, Idx: n.Idx}
+	for _, a := range n.Args {
+		e.Args = append(e.Args, expr.Sym(fmt.Sprintf("c%d", g.Find(a))))
+	}
+	return e.String()
+}

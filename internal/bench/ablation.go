@@ -32,7 +32,7 @@ type AblSummary struct {
 func Ablation(opt F5Options) ([]AblRow, AblSummary, error) {
 	var rows []AblRow
 	for _, k := range Suite() {
-		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
+		if !matchOnly(opt.Only, k.ID) {
 			continue
 		}
 		base, err := runKernelAllSystems(k, opt)
@@ -126,7 +126,7 @@ type CostRow struct {
 func CostModelAblation(opt F5Options) ([]CostRow, error) {
 	var rows []CostRow
 	for _, k := range Suite() {
-		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
+		if !matchOnly(opt.Only, k.ID) {
 			continue
 		}
 		r := rand.New(rand.NewSource(opt.Seed + 7))

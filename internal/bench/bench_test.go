@@ -240,3 +240,52 @@ func TestCostModelAblation(t *testing.T) {
 		t.Fatal("empty report")
 	}
 }
+
+// TestProfileChecksumSuite compiles and simulates every suite kernel and
+// asserts the cycle profiler's attribution invariant: the breakdown
+// (operand stalls + memory stalls + branch bubbles + per-slot issue
+// cycles + 1) and the per-opcode cycles each sum to the kernel's total
+// simulated Cycles.
+func TestProfileChecksumSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite compile in -short mode")
+	}
+	rows, err := Table1(T1Options{Opts: quickOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Suite()) {
+		t.Fatalf("profiled %d kernels, want %d", len(rows), len(Suite()))
+	}
+	for _, r := range rows {
+		if r.Profile == nil {
+			t.Errorf("%s: no cycle profile", r.Kernel.ID)
+			continue
+		}
+		if err := r.Profile.CheckSum(); err != nil {
+			t.Errorf("%s: %v", r.Kernel.ID, err)
+		}
+		if r.Profile.Cycles != r.Cycles {
+			t.Errorf("%s: profile cycles %d != row cycles %d", r.Kernel.ID, r.Profile.Cycles, r.Cycles)
+		}
+	}
+}
+
+func TestMatchOnly(t *testing.T) {
+	cases := []struct {
+		only, id string
+		want     bool
+	}{
+		{"", "MatMul 2x2 2x2", true},
+		{"MatMul 2x2", "MatMul 2x2 2x2", true},
+		{"MatMul 2x2,2DConv 3x3 2x2", "2DConv 3x3 2x2", true},
+		{"MatMul 2x2, 2DConv 3x3 2x2", "2DConv 3x3 2x2", true},
+		{"QRDecomp", "MatMul 2x2 2x2", false},
+		{" , ", "MatMul 2x2 2x2", false},
+	}
+	for _, c := range cases {
+		if got := matchOnly(c.only, c.id); got != c.want {
+			t.Errorf("matchOnly(%q, %q) = %v, want %v", c.only, c.id, got, c.want)
+		}
+	}
+}

@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strings"
 
 	diospyros "diospyros"
 	"diospyros/internal/expr"
 	"diospyros/internal/frontend"
 	"diospyros/internal/kcc"
 	"diospyros/internal/sim"
+	"diospyros/internal/telemetry"
 )
 
 // Cycles holds simulated cycle counts per system for one kernel.
@@ -28,6 +28,10 @@ type Cycles struct {
 type F5Row struct {
 	Kernel Kernel
 	Cycles Cycles
+	// Trace is the Diospyros compilation trace; DiosProfile is the cycle
+	// breakdown of the Diospyros-compiled kernel's simulation.
+	Trace       *telemetry.Trace
+	DiosProfile *sim.Profile
 }
 
 // Speedup returns `sys` cycles as a speedup over the fixed-size naive
@@ -57,7 +61,8 @@ type F5Options struct {
 	Opts diospyros.Options
 	// Seed for the shared random inputs.
 	Seed int64
-	// Only restricts the run to kernels whose ID contains the string.
+	// Only restricts the run to kernels whose ID contains any of the
+	// comma-separated substrings.
 	Only string
 	// Verbose receives progress lines (may be nil).
 	Progress func(string)
@@ -79,7 +84,7 @@ func (o F5Options) ctx() context.Context {
 func Figure5(opt F5Options) ([]F5Row, error) {
 	var rows []F5Row
 	for _, k := range Suite() {
-		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
+		if !matchOnly(opt.Only, k.ID) {
 			continue
 		}
 		row, err := runKernelAllSystems(k, opt)
@@ -185,6 +190,8 @@ func runKernelAllSystems(k Kernel, opt F5Options) (F5Row, error) {
 		return F5Row{}, err
 	}
 	row.Cycles.Diospyros = dres.Cycles
+	row.Trace = res.Trace
+	row.DiosProfile = dres.Profile
 
 	// Nature, when the vendor library provides the kernel.
 	if k.NatureRun != nil {

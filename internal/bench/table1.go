@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
 	diospyros "diospyros"
 	"diospyros/internal/egraph"
+	"diospyros/internal/sim"
 	"diospyros/internal/telemetry"
 )
 
@@ -26,6 +28,11 @@ type T1Row struct {
 	Validated  bool
 	// Trace is the full stage/iteration breakdown behind the row.
 	Trace *telemetry.Trace
+	// Cycles and Profile come from simulating the compiled kernel on
+	// random inputs: total simulated cycles and the profiler's breakdown
+	// per opcode, issue slot, and stall cause.
+	Cycles  int64
+	Profile *sim.Profile
 }
 
 // T1Options parameterizes the Table 1 run.
@@ -51,12 +58,22 @@ func Table1(opt T1Options) ([]T1Row, error) {
 	opts.Validate = opt.Validate
 	var rows []T1Row
 	for _, k := range Suite() {
-		if opt.Only != "" && !strings.Contains(k.ID, opt.Only) {
+		if !matchOnly(opt.Only, k.ID) {
 			continue
 		}
 		res, err := diospyros.CompileContext(ctx, k.Lift(), opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", k.ID, err)
+		}
+		var cycles int64
+		var profile *sim.Profile
+		if res.Program != nil {
+			r := rand.New(rand.NewSource(1))
+			_, sres, err := res.Run(k.Inputs(r), nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s: simulate: %w", k.ID, err)
+			}
+			cycles, profile = sres.Cycles, sres.Profile
 		}
 		tr := res.Trace
 		nodes, classes := res.Saturation.Nodes, res.Saturation.Classes
@@ -74,6 +91,8 @@ func Table1(opt T1Options) ([]T1Row, error) {
 			TimedOut:   !tr.Saturated(),
 			Validated:  res.Validated,
 			Trace:      tr,
+			Cycles:     cycles,
+			Profile:    profile,
 		}
 		rows = append(rows, row)
 		if opt.Progress != nil {
@@ -89,28 +108,32 @@ func Table1(opt T1Options) ([]T1Row, error) {
 func FormatTable1(rows []T1Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: benchmark kernels — compilation time and memory\n")
-	fmt.Fprintf(&b, "%-22s %-12s %6s %12s %12s %9s %6s %s\n",
-		"Benchmark", "Size", "LOC", "Time", "Memory", "E-nodes", "Iters", "Stop")
+	fmt.Fprintf(&b, "%-22s %-12s %6s %12s %12s %9s %6s %8s %s\n",
+		"Benchmark", "Size", "LOC", "Time", "Memory", "E-nodes", "Iters", "Cycles", "Stop")
 	for _, r := range rows {
 		timeout := ""
 		if r.TimedOut {
 			timeout = " †"
 		}
-		fmt.Fprintf(&b, "%-22s %-12s %6d %12v %9.1f MB %9d %6d %s%s\n",
+		fmt.Fprintf(&b, "%-22s %-12s %6d %12v %9.1f MB %9d %6d %8d %s%s\n",
 			r.Kernel.Family, r.Kernel.Size, r.Kernel.RefLOC,
 			r.Time.Round(time.Millisecond),
-			float64(r.AllocBytes)/1e6, r.Nodes, r.Iterations, r.Reason, timeout)
+			float64(r.AllocBytes)/1e6, r.Nodes, r.Iterations, r.Cycles, r.Reason, timeout)
 	}
 	b.WriteString("† equality saturation stopped before reaching a fixpoint\n")
 	return b.String()
 }
 
 // FormatTable1Traces renders the per-kernel stage breakdown behind the
-// table (the diosbench -trace view).
+// table (the diosbench -trace view), followed by the simulated cycle
+// profile when available.
 func FormatTable1Traces(rows []T1Row) string {
 	var b strings.Builder
 	for _, r := range rows {
 		fmt.Fprintf(&b, "-- %s --\n%s", r.Kernel.ID, r.Trace.Format())
+		if r.Profile != nil {
+			b.WriteString(r.Profile.Format(5))
+		}
 	}
 	return b.String()
 }
@@ -129,6 +152,8 @@ type t1JSONRow struct {
 	Reason     string           `json:"stop_reason"`
 	Validated  bool             `json:"validated,omitempty"`
 	Trace      *telemetry.Trace `json:"trace,omitempty"`
+	Cycles     int64            `json:"cycles,omitempty"`
+	Profile    *sim.Profile     `json:"profile,omitempty"`
 }
 
 // Table1JSON renders the rows (with their traces) as JSON for machine
@@ -142,6 +167,7 @@ func Table1JSON(rows []T1Row) ([]byte, error) {
 			AllocBytes: r.AllocBytes, Nodes: r.Nodes, Classes: r.Classes,
 			Iterations: r.Iterations, Reason: string(r.Reason),
 			Validated: r.Validated, Trace: r.Trace,
+			Cycles: r.Cycles, Profile: r.Profile,
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")

@@ -43,3 +43,21 @@ func BenchmarkSaturationThroughput(b *testing.B) {
 	b.ReportMetric(float64(applied), "applies")
 	b.ReportMetric(float64(applied)*float64(b.N)/b.Elapsed().Seconds(), "applies/s")
 }
+
+// BenchmarkSaturationThroughputProvenance is the same workload with
+// provenance recording enabled — the measured cost of -explain. Compare
+// against BenchmarkSaturationThroughput, which (recording disabled) pays
+// only a nil check per Add/Union.
+func BenchmarkSaturationThroughputProvenance(b *testing.B) {
+	e, rules := saturationWorkload(12)
+	var applied int
+	for i := 0; i < b.N; i++ {
+		g := New()
+		g.AddExpr(e)
+		g.EnableProvenance()
+		rep := Run(g, rules, Limits{MaxIterations: 4, MaxNodes: 50_000})
+		applied = rep.Applied
+	}
+	b.ReportMetric(float64(applied), "applies")
+	b.ReportMetric(float64(applied)*float64(b.N)/b.Elapsed().Seconds(), "applies/s")
+}

@@ -1,0 +1,78 @@
+package egraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"diospyros/internal/expr"
+)
+
+func TestToDotStructure(t *testing.T) {
+	g := New()
+	root := g.AddExpr(expr.MustParse("(+ a (* a 2))"))
+	out := g.ToDot()
+
+	if !strings.HasPrefix(out, "digraph egraph {\n") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a dot digraph:\n%s", out)
+	}
+	// One dashed cluster per class: a, 2, (* a 2), (+ ...) — four classes.
+	if n := strings.Count(out, "subgraph cluster_"); n != 4 {
+		t.Errorf("clusters = %d, want 4:\n%s", n, out)
+	}
+	rootCluster := fmt.Sprintf("subgraph cluster_%d", root)
+	if !strings.Contains(out, rootCluster) {
+		t.Errorf("missing %s:\n%s", rootCluster, out)
+	}
+	for _, label := range []string{`[label="a"]`, `[label="2"]`, `[label="*"]`, `[label="+"]`} {
+		if !strings.Contains(out, label) {
+			t.Errorf("missing node %s:\n%s", label, out)
+		}
+	}
+	// The + node has two argument edges (indices 0 and 1) into clusters.
+	if n := strings.Count(out, "lhead=cluster_"); n != 4 {
+		t.Errorf("argument edges = %d, want 4 (two for +, two for *):\n%s", n, out)
+	}
+	for _, idx := range []string{`label="0"`, `label="1"`} {
+		if !strings.Contains(out, idx) {
+			t.Errorf("missing argument-index edge %s:\n%s", idx, out)
+		}
+	}
+}
+
+func TestToDotMergedClassesShareCluster(t *testing.T) {
+	g := New()
+	a := g.AddExpr(expr.MustParse("(+ x y)"))
+	b := g.AddExpr(expr.MustParse("(+ y x)"))
+	g.Union(a, b)
+	g.Rebuild()
+	out := g.ToDot()
+
+	// x, y, and the merged sum class: three clusters, with both + nodes
+	// rendered inside the merged one.
+	if n := strings.Count(out, "subgraph cluster_"); n != 3 {
+		t.Errorf("clusters after union = %d, want 3:\n%s", n, out)
+	}
+	if n := strings.Count(out, `[label="+"]`); n != 2 {
+		t.Errorf("+ nodes = %d, want both forms kept:\n%s", n, out)
+	}
+	// Every edge targets a representative that exists as a node.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, " -> ") {
+			continue
+		}
+		target := strings.Fields(strings.TrimSpace(line))[2]
+		if !strings.Contains(out, "    "+target+" [label=") {
+			t.Errorf("edge targets undeclared node %q:\n%s", target, out)
+		}
+	}
+}
+
+func TestDotLabelEscaping(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.Sym(`we"ird\sym`))
+	out := g.ToDot()
+	if !strings.Contains(out, `[label="we\"ird\\sym"]`) {
+		t.Errorf("symbol not escaped for dot:\n%s", out)
+	}
+}

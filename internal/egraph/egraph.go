@@ -66,6 +66,9 @@ type EGraph struct {
 
 	keyBuf []byte
 
+	// prov, when non-nil, records rewrite provenance (see provenance.go).
+	prov *provenance
+
 	// nodeCount is the running total of e-nodes across all classes
 	// (NumNodes). The graph itself never refuses an Add; size limits are
 	// enforced by the saturation runner, which polls NumNodes against
@@ -176,6 +179,9 @@ func (g *EGraph) Add(n ENode) ClassID {
 	g.classes[id] = cls
 	g.memo[key] = id
 	g.nodeCount++
+	if g.prov != nil {
+		g.prov.recordNode(key)
+	}
 	for _, child := range dedupClasses(n.Args) {
 		cc := g.classes[child]
 		cc.parents = append(cc.parents, parent{node: n, class: id})
@@ -239,6 +245,9 @@ func (g *EGraph) Union(a, b ClassID) (ClassID, bool) {
 	if ra == rb {
 		return ra, false
 	}
+	if g.prov != nil {
+		g.prov.recordUnion(ra, rb)
+	}
 	// Union by rank; the loser's nodes and parents move to the winner.
 	if g.rank[ra] < g.rank[rb] {
 		ra, rb = rb, ra
@@ -287,9 +296,14 @@ func (g *EGraph) repair(id ClassID) {
 	newParents := make(map[string]parent, len(oldParents))
 	for _, p := range oldParents {
 		// Remove the stale hashcons entry, re-canonicalize, re-insert.
-		delete(g.memo, g.nodeKey(p.node))
+		oldKey := g.nodeKey(p.node)
+		delete(g.memo, oldKey)
 		g.canonicalize(&p.node)
 		key := g.nodeKey(p.node)
+		if g.prov != nil {
+			// Keep node justifications keyed by the current hashcons key.
+			g.prov.moveKey(oldKey, key)
+		}
 		if prev, ok := newParents[key]; ok {
 			// Congruence: two parents became identical.
 			g.Union(prev.class, p.class)

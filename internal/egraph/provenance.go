@@ -1,0 +1,132 @@
+package egraph
+
+// Rewrite provenance: when enabled, the e-graph records, for every e-node
+// created while a rule context is active, which rule created it, in which
+// saturation iteration, and from which source e-class the rule matched.
+// The extraction explanation (-explain) walks the chosen term's provenance
+// to produce the ordered rule chain that justifies the vectorized output —
+// the non-destructive-rewrite introspection an e-graph makes possible.
+//
+// Recording is off by default and costs a single nil check per Add/Union
+// when disabled (guarded by BenchmarkSaturationThroughput). When enabled,
+// memory cost is one map entry (hashcons key string + 3-word Justification)
+// per rule-created e-node plus one UnionStep per rule-caused union — small
+// next to the e-graph itself, which stores the same key in its hashcons
+// plus the node and its parent back-references (see DESIGN.md §7).
+
+// Justification records why an e-node exists: the rewrite that created it,
+// the 1-based iteration it was applied in, and the e-class the rule's match
+// rooted at. The zero value ("" rule) marks nodes of the input program.
+type Justification struct {
+	Rule      string
+	Iteration int
+	Source    ClassID
+}
+
+// UnionStep records one rule-caused class merge (A absorbed B, as canonical
+// IDs at merge time).
+type UnionStep struct {
+	Just Justification
+	A, B ClassID
+}
+
+// provenance is the recording state, allocated by EnableProvenance.
+type provenance struct {
+	// nodes maps the current hashcons key of a rule-created e-node to its
+	// justification. Keys are kept in lockstep with the hashcons: repair
+	// moves entries when a node is re-canonicalized after unions.
+	nodes  map[string]Justification
+	unions []UnionStep
+	ctx    Justification // active rule context ("" rule = inactive)
+}
+
+// EnableProvenance turns on provenance recording for nodes and unions
+// created from now on. Typically called right after the input program is
+// added, so input nodes stay unattributed and every rule-created node is
+// justified.
+func (g *EGraph) EnableProvenance() {
+	if g.prov == nil {
+		g.prov = &provenance{nodes: map[string]Justification{}}
+	}
+}
+
+// ProvenanceEnabled reports whether provenance is being recorded.
+func (g *EGraph) ProvenanceEnabled() bool { return g.prov != nil }
+
+// SetRuleContext opens a rule context: until ClearRuleContext, nodes added
+// and unions performed are justified by (rule, iteration, source). The
+// saturation runner brackets each match application with this.
+func (g *EGraph) SetRuleContext(rule string, iteration int, source ClassID) {
+	if g.prov != nil {
+		g.prov.ctx = Justification{Rule: rule, Iteration: iteration, Source: source}
+	}
+}
+
+// ClearRuleContext closes the rule context; later congruence-repair unions
+// and lookups are no longer attributed to the last rule.
+func (g *EGraph) ClearRuleContext() {
+	if g.prov != nil {
+		g.prov.ctx = Justification{}
+	}
+}
+
+// NodeProvenance returns the justification recorded for the node, if any.
+// Nodes of the input program (or added outside any rule context) have none.
+func (g *EGraph) NodeProvenance(n ENode) (Justification, bool) {
+	if g.prov == nil {
+		return Justification{}, false
+	}
+	n = n.clone()
+	g.canonicalize(&n)
+	j, ok := g.prov.nodes[g.nodeKey(n)]
+	return j, ok
+}
+
+// Unions returns the recorded rule-caused class merges, in order.
+func (g *EGraph) Unions() []UnionStep {
+	if g.prov == nil {
+		return nil
+	}
+	return g.prov.unions
+}
+
+// ProvenanceStats reports the recording's footprint: justified nodes and
+// recorded unions. Both are zero when provenance is disabled.
+func (g *EGraph) ProvenanceStats() (nodes, unions int) {
+	if g.prov == nil {
+		return 0, 0
+	}
+	return len(g.prov.nodes), len(g.prov.unions)
+}
+
+// recordNode attaches the active rule context to a newly created node key.
+// Called from Add on hashcons misses only.
+func (p *provenance) recordNode(key string) {
+	if p.ctx.Rule != "" {
+		p.nodes[key] = p.ctx
+	}
+}
+
+// recordUnion logs a class merge under the active rule context.
+func (p *provenance) recordUnion(a, b ClassID) {
+	if p.ctx.Rule != "" {
+		p.unions = append(p.unions, UnionStep{Just: p.ctx, A: a, B: b})
+	}
+}
+
+// moveKey keeps node justifications keyed by the node's current hashcons
+// key across congruence repair. When two nodes become congruent (same new
+// key), the earliest justification wins.
+func (p *provenance) moveKey(oldKey, newKey string) {
+	if oldKey == newKey {
+		return
+	}
+	j, ok := p.nodes[oldKey]
+	if !ok {
+		return
+	}
+	delete(p.nodes, oldKey)
+	if prev, exists := p.nodes[newKey]; !exists || j.Iteration < prev.Iteration {
+		p.nodes[newKey] = j
+	}
+}

@@ -236,8 +236,14 @@ loop:
 
 		changed := false
 		sinceCheck := 0
+		prov := g.ProvenanceEnabled()
 		for _, f := range all {
 			for _, m := range f.matches {
+				if prov {
+					// Attribute every node/union the applier creates to
+					// this rule, iteration, and matched class.
+					g.SetRuleContext(f.rule.Name(), iter+1, m.Class)
+				}
 				if f.rule.Apply(g, m) {
 					changed = true
 					rep.Applied++
@@ -246,6 +252,7 @@ loop:
 					gauge.PerRuleApplied[f.rule.Name()]++
 				}
 				if nodesOver() {
+					g.ClearRuleContext()
 					g.Rebuild()
 					rep.Reason = StopNodeLimit
 					flushGauge()
@@ -254,6 +261,7 @@ loop:
 				if sinceCheck++; sinceCheck >= ctxCheckInterval {
 					sinceCheck = 0
 					if reason, stop := ctxStop(); stop {
+						g.ClearRuleContext()
 						g.Rebuild()
 						rep.Reason = reason
 						flushGauge()
@@ -262,6 +270,7 @@ loop:
 				}
 			}
 		}
+		g.ClearRuleContext()
 		g.Rebuild()
 		flushGauge()
 		if !changed && !ruleSkipped &&

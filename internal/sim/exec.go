@@ -31,7 +31,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err := m.checkAddr(addr, 1); err != nil {
 			return 0, err
 		}
-		at := m.issue(in, max64(r, m.memReady))
+		at := m.issueMem(in, r, m.memReady)
 		return pc + 1, m.setF(in.Dst, m.mem[addr], at+lat)
 	case isa.SStore:
 		base, r1, err := m.ir(in.A)
@@ -103,7 +103,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err := m.checkAddr(addr, 1); err != nil {
 			return 0, err
 		}
-		at := m.issue(in, max64(r, m.memReady))
+		at := m.issueMem(in, r, m.memReady)
 		return pc + 1, m.setI(in.Dst, int(m.mem[addr]), at+lat)
 	case isa.IMov:
 		a, r, err := m.ir(in.A)
@@ -157,6 +157,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 	case isa.Jmp:
 		m.issue(in, 0)
 		m.cycle++ // taken-branch bubble
+		m.prof.branchBubble++
 		return m.prog.Labels[in.Target], nil
 	case isa.BrLT, isa.BrGE, isa.BrEQ, isa.BrNE:
 		a, r1, err := m.ir(in.A)
@@ -181,6 +182,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		}
 		if taken {
 			m.cycle++
+			m.prof.branchBubble++
 			return m.prog.Labels[in.Target], nil
 		}
 		return pc + 1, nil
@@ -200,6 +202,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		}
 		if taken {
 			m.cycle++
+			m.prof.branchBubble++
 			return m.prog.Labels[in.Target], nil
 		}
 		return pc + 1, nil
@@ -257,7 +260,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err := m.checkAddr(addr, isa.Width); err != nil {
 			return 0, err
 		}
-		at := m.issue(in, max64(r, m.memReady))
+		at := m.issueMem(in, r, m.memReady)
 		var v [isa.Width]float64
 		copy(v[:], m.mem[addr:addr+isa.Width])
 		return pc + 1, m.setV(in.Dst, v, at+lat)

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diospyros/internal/isa"
+)
+
+// Cycle profiler: the scoreboard attributes every cycle the machine
+// advances to exactly one cause, so the breakdown reconciles with the total
+// cycle count (asserted in tests and usable for regression gates):
+//
+//	Cycles = 1 + operand stalls + memory stalls + slot issue cycles
+//	           + branch bubbles
+//
+// Per-instruction, the advance decomposes as: waiting for source registers
+// (operand-not-ready), waiting for an outstanding store to commit
+// (memory-port busy), opening a new cycle because the instruction's issue
+// slot was occupied (per-slot issue cycles — for a dual-issue machine this
+// is the serial-issue cost), and the one-cycle taken-branch bubble.
+// Instructions that slip into an already-open cycle (dual issue) advance
+// nothing and are counted as paired.
+
+// OpProfile aggregates the cycles attributed to one opcode.
+type OpProfile struct {
+	Op     string `json:"op"`
+	Count  int64  `json:"count"`
+	Cycles int64  `json:"cycles"` // cycles this opcode advanced the machine
+	Stall  int64  `json:"stall"`  // of Cycles: operand + memory stalls
+}
+
+// SlotProfile aggregates one VLIW issue slot.
+type SlotProfile struct {
+	Slot   string `json:"slot"`
+	Issued int64  `json:"issued"` // instructions issued into the slot
+	Cycles int64  `json:"cycles"` // new cycles opened because the slot was busy
+}
+
+// Profile is the per-run cycle attribution (Result.Profile).
+type Profile struct {
+	PerOp []OpProfile   `json:"per_op"` // executed opcodes, in opcode order
+	Slots []SlotProfile `json:"slots"`  // mem, alu, ctrl
+
+	OperandStall int64 `json:"operand_stall_cycles"` // source register not ready
+	MemoryStall  int64 `json:"memory_stall_cycles"`  // outstanding store (memory port busy)
+	BranchBubble int64 `json:"branch_bubble_cycles"` // taken-branch bubbles
+	DualIssued   int64 `json:"dual_issued"`          // instructions paired into an open cycle
+
+	Cycles int64 `json:"cycles"` // total, mirrors Result.Cycles
+}
+
+// SlotCycles sums the per-slot issue cycles.
+func (p *Profile) SlotCycles() int64 {
+	var n int64
+	for _, s := range p.Slots {
+		n += s.Cycles
+	}
+	return n
+}
+
+// StallCycles sums the cycles lost to stalls and bubbles (everything that
+// is not serial issue).
+func (p *Profile) StallCycles() int64 {
+	return p.OperandStall + p.MemoryStall + p.BranchBubble
+}
+
+// CheckSum verifies the attribution invariant: all categories plus the
+// startup cycle equal the total. A non-nil error means the profiler and
+// the scoreboard disagree — a simulator bug.
+func (p *Profile) CheckSum() error {
+	sum := 1 + p.OperandStall + p.MemoryStall + p.BranchBubble + p.SlotCycles()
+	if sum != p.Cycles {
+		return fmt.Errorf("sim: profile breakdown %d != total cycles %d (operand %d + memory %d + bubble %d + slots %d + 1)",
+			sum, p.Cycles, p.OperandStall, p.MemoryStall, p.BranchBubble, p.SlotCycles())
+	}
+	var perOp int64
+	for _, o := range p.PerOp {
+		perOp += o.Cycles
+	}
+	if perOp+1 != p.Cycles {
+		return fmt.Errorf("sim: per-opcode cycles %d + 1 != total cycles %d", perOp, p.Cycles)
+	}
+	return nil
+}
+
+// Hotspots returns the top-n opcodes by attributed cycles, descending
+// (ties broken by opcode name for determinism).
+func (p *Profile) Hotspots(n int) []OpProfile {
+	out := append([]OpProfile(nil), p.PerOp...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Op < out[j].Op
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Format renders the profile as the top-n hotspot table plus the stall and
+// slot breakdown (the diosbench -profile view).
+func (p *Profile) Format(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %7s\n", "op", "count", "cycles", "stall", "share")
+	for _, o := range p.Hotspots(n) {
+		share := 0.0
+		if p.Cycles > 0 {
+			share = 100 * float64(o.Cycles) / float64(p.Cycles)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %10d %10d %6.1f%%\n", o.Op, o.Count, o.Cycles, o.Stall, share)
+	}
+	for _, s := range p.Slots {
+		fmt.Fprintf(&b, "slot %-5s %10d issued %6d cycles\n", s.Slot, s.Issued, s.Cycles)
+	}
+	fmt.Fprintf(&b, "stalls: operand %d, memory %d, branch bubbles %d; dual-issued %d of %d cycles total\n",
+		p.OperandStall, p.MemoryStall, p.BranchBubble, p.DualIssued, p.Cycles)
+	return b.String()
+}
+
+// counters is the machine's in-flight profiling state; arrays indexed by
+// opcode and slot keep the per-instruction cost to a few increments.
+type counters struct {
+	opCount  [isa.NumOpcodes]int64
+	opCycles [isa.NumOpcodes]int64
+	opStall  [isa.NumOpcodes]int64
+
+	slotIssued [3]int64 // indexed by isa.Slot
+	slotCycles [3]int64
+
+	operandStall int64
+	memoryStall  int64
+	branchBubble int64
+	dualIssued   int64
+}
+
+var slotNames = [3]string{isa.SlotALU: "alu", isa.SlotMem: "mem", isa.SlotCtrl: "ctrl"}
+
+// finish folds the counters into the exported Profile.
+func (c *counters) finish(totalCycles int64) *Profile {
+	p := &Profile{
+		OperandStall: c.operandStall,
+		MemoryStall:  c.memoryStall,
+		BranchBubble: c.branchBubble,
+		DualIssued:   c.dualIssued,
+		Cycles:       totalCycles,
+	}
+	for op := isa.Opcode(0); op < isa.NumOpcodes; op++ {
+		if c.opCount[op] == 0 {
+			continue
+		}
+		p.PerOp = append(p.PerOp, OpProfile{
+			Op: op.String(), Count: c.opCount[op],
+			Cycles: c.opCycles[op], Stall: c.opStall[op],
+		})
+	}
+	for _, slot := range []isa.Slot{isa.SlotMem, isa.SlotALU, isa.SlotCtrl} {
+		p.Slots = append(p.Slots, SlotProfile{
+			Slot: slotNames[slot], Issued: c.slotIssued[slot], Cycles: c.slotCycles[slot],
+		})
+	}
+	return p
+}

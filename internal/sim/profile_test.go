@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"diospyros/internal/isa"
+)
+
+// checkProfile asserts the profiler's two reconciliation invariants and
+// that the per-opcode counts match the result's dynamic mix.
+func checkProfile(t *testing.T, res *Result) {
+	t.Helper()
+	p := res.Profile
+	if p == nil {
+		t.Fatal("Result.Profile is nil")
+	}
+	if err := p.CheckSum(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cycles != res.Cycles {
+		t.Fatalf("Profile.Cycles = %d, Result.Cycles = %d", p.Cycles, res.Cycles)
+	}
+	got := map[string]int64{}
+	for _, o := range p.PerOp {
+		got[o.Op] = o.Count
+	}
+	for op, n := range res.OpCounts {
+		if got[op.String()] != n {
+			t.Fatalf("PerOp[%s] = %d, OpCounts = %d", op, got[op.String()], n)
+		}
+	}
+}
+
+func TestProfileLoopBreakdown(t *testing.T) {
+	// A counted loop: taken branches every iteration (bubbles) and a
+	// load→use→store dependency chain (operand stalls).
+	lay := isa.NewLayout()
+	lay.Add("a", 8)
+	lay.Add("out", 8)
+	b := isa.NewBuilder("profloop", lay)
+	base, i, n, ptr := b.IReg(), b.IReg(), b.IReg(), b.IReg()
+	tmp := b.FReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: i, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: n, IImm: 8})
+	b.Label("loop")
+	b.Emit(isa.Instr{Op: isa.BrGE, A: i, B: n, Target: "done"})
+	b.Emit(isa.Instr{Op: isa.IAdd, Dst: ptr, A: base, B: i})
+	b.Emit(isa.Instr{Op: isa.SLoad, Dst: tmp, A: ptr, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.SMul, Dst: tmp, A: tmp, B: tmp})
+	b.Emit(isa.Instr{Op: isa.SStore, A: ptr, IImm: 8, B: tmp})
+	b.Emit(isa.Instr{Op: isa.IAddI, Dst: i, A: i, IImm: 1})
+	b.Emit(isa.Instr{Op: isa.Jmp, Target: "loop"})
+	b.Label("done")
+
+	res := run(t, b, make([]float64, 16), Config{})
+	checkProfile(t, res)
+	p := res.Profile
+
+	if p.BranchBubble == 0 {
+		t.Error("loop produced no branch bubbles")
+	}
+	if p.OperandStall == 0 {
+		t.Error("load→use chain produced no operand stalls")
+	}
+	var ctrl SlotProfile
+	for _, s := range p.Slots {
+		if s.Slot == "ctrl" {
+			ctrl = s
+		}
+	}
+	// 8 taken backward jumps + 9 branch tests (8 not-taken + 1 taken).
+	if ctrl.Issued != 17 {
+		t.Errorf("ctrl slot issued = %d, want 17", ctrl.Issued)
+	}
+}
+
+func TestProfileMemoryStall(t *testing.T) {
+	// A load issued right behind a store waits for the store barrier; the
+	// wait must land in MemoryStall, not OperandStall.
+	lay := isa.NewLayout()
+	lay.Add("a", 2)
+	b := isa.NewBuilder("membar", lay)
+	base := b.IReg()
+	f0, f1 := b.FReg(), b.FReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.SConst, Dst: f0, Imm: 7})
+	b.Emit(isa.Instr{Op: isa.SStore, A: base, IImm: 0, B: f0})
+	b.Emit(isa.Instr{Op: isa.SLoad, Dst: f1, A: base, IImm: 0})
+	res := run(t, b, make([]float64, 2), Config{})
+	checkProfile(t, res)
+	if res.Profile.MemoryStall == 0 {
+		t.Error("load behind store barrier produced no memory stall")
+	}
+}
+
+func TestProfileDualIssuePairing(t *testing.T) {
+	// An independent load (MEM slot) and const (ALU slot) can share a
+	// cycle under dual issue; single issue forbids it.
+	build := func() *isa.Builder {
+		lay := isa.NewLayout()
+		lay.Add("a", 4)
+		b := isa.NewBuilder("pair", lay)
+		base := b.IReg()
+		f0, f1 := b.FReg(), b.FReg()
+		b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+		b.Emit(isa.Instr{Op: isa.SLoad, Dst: f0, A: base, IImm: 0})
+		b.Emit(isa.Instr{Op: isa.SConst, Dst: f1, Imm: 3})
+		return b
+	}
+	dual := run(t, build(), make([]float64, 4), Config{DualIssue: true})
+	checkProfile(t, dual)
+	if dual.Profile.DualIssued == 0 {
+		t.Error("independent MEM+ALU ops did not pair under dual issue")
+	}
+	single := run(t, build(), make([]float64, 4), Config{DualIssue: false})
+	checkProfile(t, single)
+	if single.Profile.DualIssued != 0 {
+		t.Errorf("single-issue machine paired %d instructions", single.Profile.DualIssued)
+	}
+	if single.Cycles <= dual.Cycles {
+		t.Errorf("single-issue (%d cycles) not slower than dual (%d)", single.Cycles, dual.Cycles)
+	}
+}
+
+func TestProfileHotspotsAndFormat(t *testing.T) {
+	p := &Profile{
+		PerOp: []OpProfile{
+			{Op: "vadd", Count: 4, Cycles: 4},
+			{Op: "vmac", Count: 9, Cycles: 9},
+			{Op: "sload", Count: 2, Cycles: 9}, // ties with vmac; name breaks it
+		},
+		Cycles: 23,
+	}
+	hs := p.Hotspots(2)
+	if len(hs) != 2 || hs[0].Op != "sload" || hs[1].Op != "vmac" {
+		t.Fatalf("Hotspots(2) = %+v, want [sload vmac]", hs)
+	}
+	if hs := p.Hotspots(0); len(hs) != 3 {
+		t.Fatalf("Hotspots(0) = %d entries, want all 3", len(hs))
+	}
+	out := p.Format(2)
+	if !strings.Contains(out, "sload") || strings.Contains(out, "vadd") {
+		t.Fatalf("Format(2) should keep the top 2 ops only:\n%s", out)
+	}
+}
+
+func TestSimLoadOutOfBounds(t *testing.T) {
+	lay := isa.NewLayout()
+	lay.Add("a", 2)
+	b := isa.NewBuilder("oob", lay)
+	base := b.IReg()
+	f := b.FReg()
+	b.Emit(isa.Instr{Op: isa.IConst, Dst: base, IImm: 0})
+	b.Emit(isa.Instr{Op: isa.SLoad, Dst: f, A: base, IImm: 5})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, make([]float64, 2), Config{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-bounds load: err = %v, want out-of-range", err)
+	}
+}
+
+func TestSimStoreOutOfBounds(t *testing.T) {
+	p := &isa.Program{Name: "oob-store", Instrs: []isa.Instr{
+		{Op: isa.IConst, Dst: 0, IImm: -1},
+		{Op: isa.SStore, A: 0, IImm: 0, B: 0},
+		{Op: isa.Halt},
+	}}
+	_, err := Run(p, make([]float64, 2), Config{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("negative store address: err = %v, want out-of-range", err)
+	}
+}
+
+func TestSimUnknownOpcode(t *testing.T) {
+	p := &isa.Program{Name: "bad-op", Instrs: []isa.Instr{
+		{Op: isa.NumOpcodes},
+		{Op: isa.Halt},
+	}}
+	_, err := Run(p, make([]float64, 1), Config{})
+	if err == nil || !strings.Contains(err.Error(), "unimplemented opcode") {
+		t.Fatalf("unknown opcode: err = %v, want unimplemented-opcode", err)
+	}
+}
+
+func TestSimVectorRegisterOutOfBounds(t *testing.T) {
+	// A VMov from a register index beyond the configured file.
+	p := &isa.Program{Name: "bad-reg", Instrs: []isa.Instr{
+		{Op: isa.VMov, Dst: 0, A: 9},
+		{Op: isa.Halt},
+	}}
+	_, err := Run(p, make([]float64, 1), Config{VRegs: 2, FRegs: 1, IRegs: 1})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("register index: err = %v, want out-of-range", err)
+	}
+}

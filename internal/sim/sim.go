@@ -141,6 +141,10 @@ type Result struct {
 	Instrs   int64
 	OpCounts map[isa.Opcode]int64 // dynamic instruction mix
 	Mem      []float64            // final memory image
+	// Profile attributes every cycle to an opcode, an issue slot, and a
+	// stall cause; Profile.CheckSum() == nil guarantees the breakdown sums
+	// to Cycles. Always populated (the counters are cheap fixed arrays).
+	Profile *Profile
 }
 
 // VectorOps returns the dynamic count of vector-arithmetic operations
@@ -175,6 +179,8 @@ type machine struct {
 	slotMem  int64 // cycle currently holding a MEM-slot issue
 	slotALU  int64
 	slotCtrl int64
+
+	prof counters // cycle-attribution counters (see profile.go)
 }
 
 // Run executes the program on a copy of the given memory image.
@@ -204,13 +210,22 @@ func Run(p *isa.Program, mem []float64, cfg Config) (*Result, error) {
 		}
 		res.Instrs++
 		res.OpCounts[in.Op]++
+		if in.Op < isa.NumOpcodes {
+			// Out-of-range opcodes are rejected by exec below; don't let
+			// the profiler's fixed-size counters index past their end.
+			m.prof.opCount[in.Op]++
+		}
 		if res.Instrs > cfg.MaxInstrs {
 			return nil, fmt.Errorf("sim: instruction budget exhausted (%d) in %s", cfg.MaxInstrs, p.Name)
 		}
+		cycleBefore := m.cycle
 		next, err := m.exec(pc, in)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s pc=%d (%s): %w", p.Name, pc, in, err)
 		}
+		// Attribute every cycle this instruction advanced the machine —
+		// stalls, issue, and any branch bubble — to its opcode.
+		m.prof.opCycles[in.Op] += m.cycle - cycleBefore
 		if cfg.Trace != nil {
 			fmt.Fprintf(cfg.Trace, "%6d  %3d  %s\n", m.cycle, pc, in)
 		}
@@ -218,6 +233,7 @@ func Run(p *isa.Program, mem []float64, cfg Config) (*Result, error) {
 	}
 	res.Cycles = m.cycle + 1
 	res.Mem = m.mem
+	res.Profile = m.prof.finish(res.Cycles)
 	return res, nil
 }
 
@@ -226,11 +242,29 @@ func Run(p *isa.Program, mem []float64, cfg Config) (*Result, error) {
 // a cycle with at most one instruction of a different slot (dual issue),
 // and marks its destination ready after the opcode latency.
 func (m *machine) issue(in *isa.Instr, srcReady int64) int64 {
-	at := m.cycle
-	if srcReady > at {
-		at = srcReady
+	return m.issueMem(in, srcReady, 0)
+}
+
+// issueMem is issue with the memory barrier passed separately from register
+// readiness (loads), so the profiler attributes the wait to the right
+// cause: operand-not-ready vs memory-port busy. Every cycle the machine
+// advances here lands in exactly one profiler bucket, which is what makes
+// Profile.CheckSum hold.
+func (m *machine) issueMem(in *isa.Instr, regReady, memReady int64) int64 {
+	start := m.cycle
+	at := start
+	if regReady > at {
+		m.prof.operandStall += regReady - at
+		m.prof.opStall[in.Op] += regReady - at
+		at = regReady
+	}
+	if memReady > at {
+		m.prof.memoryStall += memReady - at
+		m.prof.opStall[in.Op] += memReady - at
+		at = memReady
 	}
 	slot := in.Op.Slot()
+	m.prof.slotIssued[slot]++
 	for {
 		var taken *int64
 		switch slot {
@@ -246,10 +280,17 @@ func (m *machine) issue(in *isa.Instr, srcReady int64) int64 {
 			conflict = m.slotMem == at || m.slotALU == at || m.slotCtrl == at
 		}
 		if !conflict {
+			// Pairing is only possible when the instruction did not
+			// advance the machine: slot marks never exceed m.cycle, so a
+			// stalled (at > start) issue always lands in a fresh cycle.
+			if at == start && (m.slotMem == at || m.slotALU == at || m.slotCtrl == at) {
+				m.prof.dualIssued++
+			}
 			*taken = at
 			break
 		}
 		at++
+		m.prof.slotCycles[slot]++
 	}
 	m.cycle = at
 	return at

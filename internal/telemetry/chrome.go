@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// NamedTrace pairs a trace with the name it is exported under (a kernel ID
+// for benchmark runs, or the compile's kernel name for a single compile).
+type NamedTrace struct {
+	Name  string
+	Trace *Trace
+}
+
+// chromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array (the JSON loadable in chrome://tracing and Perfetto). Timestamps
+// and durations are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object form of a trace-event file.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	tidStages     = 1
+	tidIterations = 2
+)
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// ChromeTrace renders one trace as a Chrome trace-event JSON file; the
+// single process is named after the trace. See ChromeTraces for the
+// multi-kernel form.
+func (t *Trace) ChromeTrace(name string) ([]byte, error) {
+	return ChromeTraces([]NamedTrace{{Name: name, Trace: t}})
+}
+
+// ChromeTraces renders traces as one Chrome trace-event JSON file — the
+// -trace-out artifact. Each trace becomes one "process" (named after the
+// kernel) with a stage timeline thread and, when the trace carries
+// saturation gauges, an iteration thread; counters attach to a final
+// instant event. The output is the JSON-object form with a traceEvents
+// array, which both chrome://tracing and Perfetto accept.
+func ChromeTraces(traces []NamedTrace) ([]byte, error) {
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for i, nt := range traces {
+		t := nt.Trace
+		if t == nil {
+			continue
+		}
+		pid := i + 1
+		name := nt.Name
+		if name == "" {
+			name = fmt.Sprintf("compile %d", pid)
+		}
+		f.TraceEvents = append(f.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidStages,
+				Args: map[string]any{"name": "stages"}},
+		)
+		for _, s := range t.Stages {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: s.Name, Ph: "X", Cat: "stage", Pid: pid, Tid: tidStages,
+				Ts: micros(s.Start), Dur: micros(s.Duration),
+				Args: map[string]any{"alloc_bytes": s.AllocBytes},
+			})
+		}
+		if len(t.Iterations) > 0 {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tidIterations,
+				Args: map[string]any{"name": "saturation iterations"},
+			})
+			// Iteration gauges record durations only; lay them out
+			// back-to-back from the saturate stage's start.
+			base := time.Duration(0)
+			if s, ok := t.Stage("saturate"); ok {
+				base = s.Start
+			}
+			at := base
+			for _, g := range t.Iterations {
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: fmt.Sprintf("iteration %d", g.Iteration),
+					Ph:   "X", Cat: "saturation", Pid: pid, Tid: tidIterations,
+					Ts: micros(at), Dur: micros(g.Duration),
+					Args: map[string]any{
+						"nodes":   g.Nodes,
+						"classes": g.Classes,
+						"matches": g.Matches,
+						"applied": g.Applied,
+					},
+				})
+				at += g.Duration
+			}
+		}
+		if len(t.Counters) > 0 || t.StopReason != "" {
+			args := map[string]any{}
+			for k, v := range t.Counters {
+				args[k] = v
+			}
+			if t.StopReason != "" {
+				args["stop_reason"] = t.StopReason
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "counters", Ph: "i", S: "p", Pid: pid, Tid: tidStages,
+				Ts: micros(t.Duration), Args: args,
+			})
+		}
+	}
+	return json.MarshalIndent(f, "", " ")
+}

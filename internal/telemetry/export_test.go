@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sampleTrace builds a deterministic, fully-populated trace exercising
+// every exporter field.
+func sampleTrace() *Trace {
+	return &Trace{
+		Stages: []Span{
+			{Name: "lift", Start: 0, Duration: 2 * time.Millisecond, AllocBytes: 1 << 20},
+			{Name: "saturate", Start: 2 * time.Millisecond, Duration: 10 * time.Millisecond, AllocBytes: 8 << 20},
+			{Name: "extract", Start: 12 * time.Millisecond, Duration: time.Millisecond, AllocBytes: 1 << 10},
+		},
+		Iterations: []IterationGauge{
+			{Iteration: 1, Nodes: 100, Classes: 40, Matches: 12, Applied: 9,
+				PerRuleMatches: map[string]int{"vec-mac": 12},
+				PerRuleApplied: map[string]int{"vec-mac": 9},
+				Duration:       4 * time.Millisecond},
+			{Iteration: 2, Nodes: 180, Classes: 66, Matches: 3, Applied: 1,
+				Duration: 6 * time.Millisecond},
+		},
+		Counters:   map[string]int64{"saturate.applied": 10, "vir.instrs": 7},
+		StopReason: "saturated",
+		Explanation: &Explanation{
+			Steps: []ExplanationStep{
+				{Rule: "vec-mac", Kind: KindVectorization, Iteration: 1, Nodes: 3, Example: "(VecMAC c1 c2 c3)"},
+				{Rule: "lower-shuffle", Kind: KindShuffle, Nodes: 2, Example: "%1 = shuffle %0, [0 0 3 3]"},
+			},
+			InputNodes:     8,
+			RewrittenNodes: 5,
+		},
+		Duration:   14 * time.Millisecond,
+		AllocBytes: 10 << 20,
+	}
+}
+
+// TestChromeTraceStructure validates the -trace-out artifact structurally:
+// the JSON-object form with a traceEvents array of well-formed events —
+// what Perfetto and chrome://tracing require to load the file.
+func TestChromeTraceStructure(t *testing.T) {
+	raw, err := sampleTrace().ChromeTrace("matmul2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	var completes, metas, instants int
+	names := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		names[name] = true
+		if name == "" {
+			t.Errorf("event without name: %v", ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Errorf("event without pid: %v", ev)
+		}
+		switch ph {
+		case "X":
+			completes++
+			ts, tsOK := ev["ts"].(float64)
+			dur, durOK := ev["dur"].(float64)
+			if !tsOK || !durOK || ts < 0 || dur <= 0 {
+				t.Errorf("complete event with bad ts/dur: %v", ev)
+			}
+		case "M":
+			metas++
+			args, _ := ev["args"].(map[string]any)
+			if _, ok := args["name"].(string); !ok {
+				t.Errorf("metadata event without args.name: %v", ev)
+			}
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	// 3 stages + 2 iterations complete events; process+2 thread names;
+	// one counters instant.
+	if completes != 5 || metas != 3 || instants != 1 {
+		t.Errorf("events = %d X, %d M, %d i; want 5, 3, 1", completes, metas, instants)
+	}
+	for _, want := range []string{"lift", "saturate", "extract", "iteration 1", "iteration 2", "counters"} {
+		if !names[want] {
+			t.Errorf("missing event %q", want)
+		}
+	}
+}
+
+func TestChromeTracesMultiKernelPids(t *testing.T) {
+	raw, err := ChromeTraces([]NamedTrace{
+		{Name: "a", Trace: sampleTrace()},
+		{Name: "b", Trace: sampleTrace()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range f.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+	}
+	if !pids[1] || !pids[2] || len(pids) != 2 {
+		t.Errorf("pids = %v, want {1, 2}", pids)
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	out := PrometheusTexts([]NamedTrace{
+		{Name: "k1", Trace: sampleTrace()},
+		{Name: "k2", Trace: sampleTrace()},
+	})
+	// Each family's HELP/TYPE header appears exactly once even with two
+	// kernels, and every sample carries its kernel label.
+	for _, fam := range []string{
+		"diospyros_compile_duration_seconds",
+		"diospyros_stage_duration_seconds",
+		"diospyros_saturation_nodes",
+		"diospyros_counter",
+	} {
+		if n := strings.Count(out, "# HELP "+fam+" "); n != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", fam, n)
+		}
+		if n := strings.Count(out, "# TYPE "+fam+" gauge"); n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", fam, n)
+		}
+	}
+	for _, want := range []string{
+		`diospyros_compile_duration_seconds{kernel="k1"} 0.014`,
+		`diospyros_stage_duration_seconds{kernel="k2",stage="saturate"} 0.01`,
+		`diospyros_saturation_iterations{kernel="k1"} 2`,
+		`diospyros_counter{kernel="k1",name="vir.instrs"} 7`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing sample %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "diospyros_") || !strings.Contains(line, " ") {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	tr := &Trace{Counters: map[string]int64{`odd"name\with` + "\nstuff": 1}}
+	out := tr.PrometheusText("k")
+	want := `diospyros_counter{kernel="k",name="odd\"name\\with\nstuff"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped sample %q missing in:\n%s", want, out)
+	}
+}
+
+func TestExplanationClassifyRule(t *testing.T) {
+	cases := map[string]string{
+		"vec-lanewise":  KindVectorization,
+		"vec-mac":       KindVectorization,
+		"list-chunk":    KindChunking,
+		"const-fold":    KindConstFold,
+		"lower-shuffle": KindShuffle,
+		"lower-select":  KindShuffle,
+		"assoc-add":     KindReassociation,
+		"comm-mul":      KindReassociation,
+		"add-0-r":       KindSimplify,
+		"user-rule":     KindSimplify,
+	}
+	for rule, want := range cases {
+		if got := ClassifyRule(rule); got != want {
+			t.Errorf("ClassifyRule(%q) = %q, want %q", rule, got, want)
+		}
+	}
+}
+
+func TestExplanationSortAndFormat(t *testing.T) {
+	e := &Explanation{Steps: []ExplanationStep{
+		{Rule: "lower-shuffle", Kind: KindShuffle, Iteration: 0, Nodes: 2},
+		{Rule: "vec-mac", Kind: KindVectorization, Iteration: 2, Nodes: 1},
+		{Rule: "list-chunk", Kind: KindChunking, Iteration: 1, Nodes: 4},
+	}, InputNodes: 3, RewrittenNodes: 5}
+	e.Sort()
+	if got := e.Rules(); got[0] != "list-chunk" || got[1] != "vec-mac" || got[2] != "lower-shuffle" {
+		t.Fatalf("sorted rules = %v; want saturation order then lowering last", got)
+	}
+	if !e.HasKind(KindShuffle) || e.HasKind(KindConstFold) {
+		t.Error("HasKind misreports")
+	}
+	out := e.Format()
+	if !strings.Contains(out, "5 extracted e-nodes justified by rewrites, 3 from the input program") {
+		t.Errorf("missing summary header:\n%s", out)
+	}
+	if !strings.Contains(out, "\n   -  lower-shuffle") {
+		t.Errorf("lowering step should render iteration as '-':\n%s", out)
+	}
+}
+
+// TestRecorderCountConcurrent exercises the documented concurrency
+// contract: Count may be called from many goroutines (run under -race in
+// CI).
+func TestRecorderCountConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.Count("shared", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rec.Finish().Counter("shared"); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestTraceFormatTotalShareAndLongNames(t *testing.T) {
+	tr := &Trace{
+		Stages: []Span{
+			{Name: "a-stage-with-a-very-long-name", Duration: 30 * time.Millisecond, AllocBytes: 1e6},
+			{Name: "short", Duration: 10 * time.Millisecond, AllocBytes: 1e6},
+		},
+		Counters: map[string]int64{
+			"a": 1,
+			"a-counter-name-longer-than-24-characters": 2,
+		},
+		Duration:   40 * time.Millisecond,
+		AllocBytes: 2e6,
+	}
+	out := tr.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	// The total row carries the share column (100.0%), aligned with the
+	// stage rows despite the long stage name.
+	var totalLine, longStageLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "total") {
+			totalLine = l
+		}
+		if strings.HasPrefix(l, "a-stage-with-a-very-long-name") {
+			longStageLine = l
+		}
+	}
+	if !strings.HasSuffix(totalLine, "100.0%") {
+		t.Errorf("total row lacks share column: %q", totalLine)
+	}
+	if strings.Index(totalLine, "100.0%")+len("100.0%") != len(totalLine) ||
+		len(totalLine) != len(longStageLine) {
+		t.Errorf("total row misaligned with stage rows:\n%q\n%q", longStageLine, totalLine)
+	}
+
+	// Counter values align in one column even when a name exceeds the old
+	// 24-char pad.
+	var counterCols []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "counter ") {
+			counterCols = append(counterCols, strings.LastIndex(l, " "))
+		}
+	}
+	if len(counterCols) != 2 || counterCols[0] != counterCols[1] {
+		t.Errorf("counter columns misaligned (%v):\n%s", counterCols, out)
+	}
+}

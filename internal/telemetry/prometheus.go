@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// promFamily is one metric family: HELP/TYPE header plus samples.
+type promFamily struct {
+	name, help string
+	samples    []promSample
+}
+
+type promSample struct {
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+// PrometheusText renders one trace in the Prometheus text exposition
+// format — the -metrics-out artifact. See PrometheusTexts for the
+// multi-kernel form; the trace name, when non-empty, becomes a
+// kernel="name" label on every sample.
+func (t *Trace) PrometheusText(name string) string {
+	return PrometheusTexts([]NamedTrace{{Name: name, Trace: t}})
+}
+
+// PrometheusTexts renders traces in the Prometheus text exposition format
+// (text/plain; version=0.0.4): each metric family appears once with its
+// HELP/TYPE header, with one sample per trace labelled kernel="<name>".
+// All metrics are gauges: a compilation is an event, not a process, so the
+// values are point-in-time readings of its trace.
+func PrometheusTexts(traces []NamedTrace) string {
+	fams := []promFamily{
+		{name: "diospyros_compile_duration_seconds", help: "End-to-end compile wall time."},
+		{name: "diospyros_compile_alloc_bytes", help: "Heap allocated during the compile (runtime TotalAlloc delta)."},
+		{name: "diospyros_stage_duration_seconds", help: "Per-stage wall time."},
+		{name: "diospyros_stage_alloc_bytes", help: "Per-stage heap allocation."},
+		{name: "diospyros_saturation_iterations", help: "Equality-saturation iterations run."},
+		{name: "diospyros_saturation_nodes", help: "E-graph nodes after the final iteration."},
+		{name: "diospyros_saturation_classes", help: "E-graph classes after the final iteration."},
+		{name: "diospyros_counter", help: "Free-form compilation counters."},
+	}
+	idx := map[string]*promFamily{}
+	for i := range fams {
+		idx[fams[i].name] = &fams[i]
+	}
+	add := func(fam string, labels map[string]string, v float64) {
+		f := idx[fam]
+		f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: v})
+	}
+
+	for _, nt := range traces {
+		t := nt.Trace
+		if t == nil {
+			continue
+		}
+		base := map[string]string{}
+		if nt.Name != "" {
+			base["kernel"] = nt.Name
+		}
+		with := func(k, v string) map[string]string {
+			m := map[string]string{k: v}
+			for bk, bv := range base {
+				m[bk] = bv
+			}
+			return m
+		}
+		add("diospyros_compile_duration_seconds", base, t.Duration.Seconds())
+		add("diospyros_compile_alloc_bytes", base, float64(t.AllocBytes))
+		for _, s := range t.Stages {
+			add("diospyros_stage_duration_seconds", with("stage", s.Name), s.Duration.Seconds())
+			add("diospyros_stage_alloc_bytes", with("stage", s.Name), float64(s.AllocBytes))
+		}
+		add("diospyros_saturation_iterations", base, float64(len(t.Iterations)))
+		if g, ok := t.FinalGauge(); ok {
+			add("diospyros_saturation_nodes", base, float64(g.Nodes))
+			add("diospyros_saturation_classes", base, float64(g.Classes))
+		}
+		names := make([]string, 0, len(t.Counters))
+		for n := range t.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			add("diospyros_counter", with("name", n), float64(t.Counters[n]))
+		}
+	}
+
+	var b strings.Builder
+	for _, f := range fams {
+		if len(f.samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatPromValue(s.value))
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders a label set as {k="v",...} with keys sorted. Go's %q
+// escaping matches the exposition format's rules for backslash, quote, and
+// newline.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatPromValue renders a float without exponent noise for integers.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

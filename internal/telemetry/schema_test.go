@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestTraceJSONSchemaGolden pins the Trace JSON schema — every field path
+// and its JSON type — against testdata/trace_schema.golden. The exporters
+// and downstream tooling (diosbench -json consumers, the CI artifacts)
+// parse this shape; renaming or retyping a field must show up as a
+// deliberate golden update, not a silent break.
+//
+// Regenerate with: UPDATE_GOLDEN=1 go test ./internal/telemetry -run Schema
+func TestTraceJSONSchemaGolden(t *testing.T) {
+	raw, err := sampleTrace().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]string{}
+	walkSchema("$", v, paths)
+	keys := make([]string, 0, len(paths))
+	for k := range paths {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\n", k, paths[k])
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "trace_schema.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if got != string(want) {
+		t.Errorf("Trace JSON schema changed (update %s deliberately if intended):\n got:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// walkSchema records the JSON type at every field path. Array elements
+// share the path "[]"; map-valued objects whose keys are data (per-rule
+// counts, counters) are collapsed to "{}" so the schema pins the value
+// type, not the data.
+func walkSchema(path string, v any, out map[string]string) {
+	switch x := v.(type) {
+	case map[string]any:
+		out[path] = "object"
+		// Heuristic: dynamic-key maps in the schema are those whose keys
+		// are data values (counter and rule names contain '.', '-', or
+		// spaces — never plain identifiers of the struct fields).
+		for k, child := range x {
+			key := k
+			if strings.ContainsAny(k, ".- ") {
+				key = "{}"
+			}
+			walkSchema(path+"."+key, child, out)
+		}
+	case []any:
+		out[path] = "array"
+		for _, child := range x {
+			walkSchema(path+".[]", child, out)
+		}
+	case string:
+		out[path] = "string"
+	case float64:
+		out[path] = "number"
+	case bool:
+		out[path] = "bool"
+	case nil:
+		out[path] = "null"
+	}
+}

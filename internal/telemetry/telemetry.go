@@ -6,8 +6,12 @@
 // A Recorder collects events while a pipeline runs and is folded into an
 // immutable Trace at the end. The Trace is attached to every compilation
 // result, drives Table 1 of the evaluation, and is what the -trace/-json
-// CLI flags print. All Recorder methods are nil-receiver safe so callers
-// that do not want telemetry can pass a nil recorder.
+// CLI flags print. Traces export to Chrome trace-event JSON (chrome.go,
+// the -trace-out flag) and the Prometheus text format (prometheus.go,
+// -metrics-out), and may carry the rewrite-provenance Explanation of the
+// compiled program (explain.go, -explain). All Recorder methods are
+// nil-receiver safe so callers that do not want telemetry can pass a nil
+// recorder.
 package telemetry
 
 import (
@@ -16,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -53,6 +58,9 @@ type Trace struct {
 	// StopReason mirrors egraph.StopReason for the saturation stage
 	// ("saturated", "timeout", "cancelled", "node-limit", "iter-limit").
 	StopReason string `json:"stop_reason,omitempty"`
+	// Explanation, when provenance recording was enabled, is the ordered
+	// rule chain that justifies the extracted program (the -explain report).
+	Explanation *Explanation `json:"explanation,omitempty"`
 	// Duration and AllocBytes cover the whole pipeline, including
 	// per-stage telemetry overhead not attributed to any span.
 	Duration   time.Duration `json:"duration"`
@@ -116,21 +124,29 @@ func (t *Trace) Saturated() bool { return t.StopReason == "saturated" }
 // JSON renders the trace for machine consumption (the -json CLI flag).
 func (t *Trace) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
 
-// Format renders the human-readable stage table printed by -trace.
+// Format renders the human-readable stage table printed by -trace. Column
+// widths adapt to the longest stage and counter names so long names (e.g.
+// per-kernel counters) never break the alignment.
 func (t *Trace) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %12s %12s %8s\n", "stage", "time", "alloc", "share")
+	nameW := len("total")
+	for _, s := range t.Stages {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s %12s %12s %8s\n", nameW, "stage", "time", "alloc", "share")
 	for _, s := range t.Stages {
 		share := 0.0
 		if t.Duration > 0 {
 			share = 100 * float64(s.Duration) / float64(t.Duration)
 		}
-		fmt.Fprintf(&b, "%-10s %12v %9.2f MB %7.1f%%\n",
-			s.Name, s.Duration.Round(time.Microsecond),
+		fmt.Fprintf(&b, "%-*s %12v %9.2f MB %7.1f%%\n",
+			nameW, s.Name, s.Duration.Round(time.Microsecond),
 			float64(s.AllocBytes)/1e6, share)
 	}
-	fmt.Fprintf(&b, "%-10s %12v %9.2f MB\n", "total",
-		t.Duration.Round(time.Microsecond), float64(t.AllocBytes)/1e6)
+	fmt.Fprintf(&b, "%-*s %12v %9.2f MB %7.1f%%\n", nameW, "total",
+		t.Duration.Round(time.Microsecond), float64(t.AllocBytes)/1e6, 100.0)
 	if len(t.Iterations) > 0 {
 		g := t.Iterations[len(t.Iterations)-1]
 		fmt.Fprintf(&b, "saturation: %d iterations, %d nodes, %d classes, stopped: %s\n",
@@ -138,24 +154,35 @@ func (t *Trace) Format() string {
 	}
 	if len(t.Counters) > 0 {
 		names := make([]string, 0, len(t.Counters))
+		counterW := 0
 		for n := range t.Counters {
 			names = append(names, n)
+			if len(n) > counterW {
+				counterW = len(n)
+			}
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Fprintf(&b, "counter %-24s %d\n", n, t.Counters[n])
+			fmt.Fprintf(&b, "counter %-*s %d\n", counterW, n, t.Counters[n])
 		}
 	}
 	return b.String()
 }
 
-// Recorder accumulates telemetry during a pipeline run. It is not safe
-// for concurrent use; a compilation is single-threaded. The zero value is
-// not usable — call NewRecorder, which stamps the trace start.
+// Recorder accumulates telemetry during a pipeline run. Count is safe for
+// concurrent use, so fanned-out workers (e.g. parallel bench kernels) can
+// share one recorder's counters. Everything else remains single-threaded
+// by contract: spans model sequential, non-overlapping pipeline stages, and
+// SetIterations/SetStopReason/SetExplanation/Finish must be called from the
+// single goroutine driving the pipeline, after all concurrent Counts have
+// completed. The zero value is not usable — call NewRecorder, which stamps
+// the trace start.
 type Recorder struct {
 	start      time.Time
 	startAlloc uint64
-	trace      Trace
+
+	mu    sync.Mutex // guards trace.Counters
+	trace Trace
 }
 
 // NewRecorder starts a trace at the current time and heap state.
@@ -193,15 +220,17 @@ func (s *ActiveSpan) End() {
 	})
 }
 
-// Count adds delta to a named counter.
+// Count adds delta to a named counter. Safe for concurrent use.
 func (r *Recorder) Count(name string, delta int64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	if r.trace.Counters == nil {
 		r.trace.Counters = map[string]int64{}
 	}
 	r.trace.Counters[name] += delta
+	r.mu.Unlock()
 }
 
 // SetIterations attaches the saturation iteration gauges.
@@ -218,6 +247,14 @@ func (r *Recorder) SetStopReason(reason string) {
 		return
 	}
 	r.trace.StopReason = reason
+}
+
+// SetExplanation attaches the provenance report of the extracted program.
+func (r *Recorder) SetExplanation(e *Explanation) {
+	if r == nil {
+		return
+	}
+	r.trace.Explanation = e
 }
 
 // Finish stamps the end-to-end totals and returns the completed trace.

@@ -99,6 +99,11 @@ func stageSaturate(ctx context.Context, st *compileState) error {
 	}
 	st.g = egraph.New()
 	st.root = st.g.AddExpr(st.lifted.Spec)
+	if st.opts.Explain {
+		// Enabled after the spec is added so input nodes stay unattributed
+		// and every justified node traces back to a rewrite.
+		st.g.EnableProvenance()
+	}
 	limits := egraph.Limits{
 		MaxNodes:      st.opts.NodeLimit,
 		MaxIterations: st.opts.MaxIterations,
