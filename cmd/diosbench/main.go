@@ -13,7 +13,9 @@
 //	diosbench -validate     # translation validation of all 21 kernels
 //
 // Use -only <substrings> (comma-separated) to restrict kernel-suite
-// experiments, and -v for per-kernel progress. -trace adds the per-kernel
+// experiments, and -v for per-kernel progress (structured log lines;
+// -log-level debug additionally traces every pipeline stage, -log-json
+// switches the lines to JSON). -trace adds the per-kernel
 // pipeline stage tables to the Table 1 output; -json emits Table 1 rows
 // (with traces) as JSON; -profile prints each kernel's simulated cycle
 // breakdown. -trace-out/-metrics-out export all compilation traces as
@@ -26,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,7 +52,9 @@ func main() {
 		theiaCase  = flag.Bool("theia", false, "§5.7 Theia case study")
 		validate   = flag.Bool("validate", false, "translation validation of the suite")
 		only       = flag.String("only", "", "restrict suite experiments to kernels whose ID contains any comma-separated substring")
-		verbose    = flag.Bool("v", false, "per-kernel progress")
+		verbose    = flag.Bool("v", false, "per-kernel progress (structured log lines on stderr)")
+		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (debug logs every pipeline stage)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 		timeout    = flag.Duration("timeout", 0, "equality saturation timeout (default: paper's 180s)")
 		trace      = flag.Bool("trace", false, "print per-kernel pipeline stage tables with Table 1")
 		jsonOut    = flag.Bool("json", false, "emit Table 1 rows (with traces) as JSON")
@@ -67,13 +72,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "diosbench: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	if *verbose && level > slog.LevelInfo {
+		level = slog.LevelInfo // -v reports progress through the structured logger
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Pipeline stages read the logger off the context, so -log-level debug
+	// traces every stage of every kernel compile.
+	ctx = telemetry.WithLogger(ctx, logger)
 
 	opts := diospyros.Options{Timeout: *timeout}
 	progress := func(string) {}
 	if *verbose {
-		progress = func(s string) { fmt.Println("  " + s) }
+		progress = func(s string) { logger.Info("progress", "detail", s) }
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "diosbench:", err)

@@ -27,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -38,6 +39,7 @@ import (
 	"diospyros/internal/egraph"
 	"diospyros/internal/expr"
 	"diospyros/internal/rules"
+	"diospyros/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +58,8 @@ func main() {
 		nodeLimit = flag.Int("node-limit", 0, "e-graph node limit (default 10,000,000)")
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
 		trace     = flag.Bool("trace", false, "print the per-stage pipeline trace to stderr")
+		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (debug logs every pipeline stage)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 		jsonOut   = flag.Bool("json", false, "print the pipeline trace as JSON to stdout instead of C")
 		explain   = flag.Bool("explain", false, "record rewrite provenance and print the rule chain justifying the output")
 		traceOut  = flag.String("trace-out", "", "write the pipeline trace as Chrome trace-event JSON to this file")
@@ -72,8 +76,20 @@ func main() {
 		fatal(err)
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q", *logLevel))
+	}
+	if *stats && level > slog.LevelInfo {
+		level = slog.LevelInfo // -stats reports through the structured logger
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The logger rides the context, so pipeline stages emit per-stage debug
+	// lines tagged with the kernel file being compiled.
+	ctx = telemetry.WithLogger(ctx, logger.With("kernel_file", flag.Arg(0)))
 
 	if *dumpSpec {
 		lifted, err := diospyros.Lift(string(src))
@@ -134,13 +150,16 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "kernel %s: compiled in %v (%.1f MB allocated)\n",
-			res.Kernel.Name, res.Compile.Round(time.Millisecond), float64(res.AllocBytes)/1e6)
-		fmt.Fprintf(os.Stderr, "  saturation: %d nodes, %d classes, %d iterations, stopped: %s\n",
-			res.Saturation.Nodes, res.Saturation.Classes, res.Saturation.Iterations, res.Saturation.Reason)
-		fmt.Fprintf(os.Stderr, "  extracted cost: %.1f; IR length: %d\n", res.Cost, len(res.VIR.Instrs))
+		logger.Info("compiled",
+			"kernel", res.Kernel.Name,
+			"duration", res.Compile.Round(time.Millisecond),
+			"alloc_mb", fmt.Sprintf("%.1f", float64(res.AllocBytes)/1e6))
+		logger.Info("saturation",
+			"nodes", res.Saturation.Nodes, "classes", res.Saturation.Classes,
+			"iterations", res.Saturation.Iterations, "stopped", string(res.Saturation.Reason))
+		logger.Info("extracted", "cost", res.Cost, "vir_instrs", len(res.VIR.Instrs))
 		if res.Validated {
-			fmt.Fprintln(os.Stderr, "  translation validation: ok")
+			logger.Info("translation validation ok")
 		}
 	}
 

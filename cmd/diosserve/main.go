@@ -1,0 +1,101 @@
+// Command diosserve runs the Diospyros compiler as a long-running HTTP
+// service with live observability:
+//
+//	diosserve -addr :8175
+//
+//	POST /compile        compile a kernel (raw source, or JSON with options)
+//	GET  /metrics        live Prometheus metrics across all requests
+//	GET  /healthz        liveness probe
+//	GET  /readyz         readiness probe (503 while draining)
+//	GET  /debug/pprof/   live CPU/heap/goroutine profiles
+//
+//	curl -sS -X POST --data-binary @testdata/dotprod8.dios localhost:8175/compile
+//	curl -sS localhost:8175/metrics | grep diospyros_serve
+//
+// Compiles run on a bounded worker pool with an admission queue; a
+// per-request saturation watchdog aborts compiles whose e-graph or wall
+// clock blows the -watchdog-nodes / -watchdog-wall budgets. Every request
+// gets an ID that tags its structured log lines (stage-level at -log-level
+// debug) and its response. SIGINT/SIGTERM drains: /readyz flips to 503,
+// in-flight compiles get -drain-grace to finish, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/serve"
+	"diospyros/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8175", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent compiles (default GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 0, "max requests waiting for a worker (default 64)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request compile deadline (default 120s)")
+		wdNodes    = flag.Int("watchdog-nodes", 2_000_000, "abort compiles whose e-graph exceeds this many nodes (0 disables)")
+		wdWall     = flag.Duration("watchdog-wall", 0, "abort compiles running longer than this (0 disables)")
+		satTimeout = flag.Duration("timeout", 0, "default equality-saturation timeout (default 180s)")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON    = flag.Bool("log-json", false, "log JSON lines instead of text")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "shutdown grace period for in-flight compiles")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "diosserve: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	log := telemetry.NewLogger(os.Stderr, level, *logJSON)
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		WatchdogNodes:  *wdNodes,
+		WatchdogWall:   *wdWall,
+		Options:        diospyros.Options{Timeout: *satTimeout},
+		Logger:         log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("diosserve listening", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Info("draining", "grace", *drainGrace)
+	srv.SetReady(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("shutdown incomplete", "err", err)
+		_ = httpSrv.Close()
+	}
+	log.Info("diosserve stopped")
+}

@@ -22,6 +22,7 @@ package diospyros
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -69,6 +70,13 @@ type Options struct {
 	Explain bool
 	// CostModel overrides the extraction cost model.
 	CostModel cost.Model
+	// Progress, when non-nil, receives live iteration/node/class counts
+	// while equality saturation runs, readable from other goroutines.
+	// Watchdogs (e.g. the serve layer's saturation watchdog) poll it and
+	// abort the compile by cancelling the context with a
+	// *telemetry.AbortError cause; the abort reason then lands in the
+	// trace's StopReason as "aborted:<reason>".
+	Progress *egraph.Progress
 
 	// ExtraRules appends user-defined syntactic rewrite rules to the
 	// search, the paper's §6 extension mechanism. For example, a DSP with
@@ -154,27 +162,51 @@ func Compile(l *kernel.Lifted, opts Options) (*Result, error) {
 // CompileContext runs the full Diospyros pipeline on a lifted kernel under
 // a caller-supplied context. Cancelling the context aborts the compile at
 // the next stage boundary — and, during equality saturation, within one
-// iteration — returning an error wrapping ctx.Err(). Options.Timeout still
-// bounds only the saturation stage (internally a context deadline); when
-// it expires the partially saturated e-graph is extracted as before, so
-// budget-limited compiles (Figure 6) keep producing code.
+// iteration — returning an error wrapping the context's cancellation cause
+// (context.Cause), alongside a partial Result whose Trace records how far
+// the compile got. Options.Timeout still bounds only the saturation stage
+// (internally a context deadline); when it expires the partially saturated
+// e-graph is extracted as before, so budget-limited compiles (Figure 6)
+// keep producing code.
 func CompileContext(ctx context.Context, l *kernel.Lifted, opts Options) (*Result, error) {
 	return compile(ctx, &compileState{opts: opts.withDefaults(), lifted: l})
 }
 
 // compile drives the staged pipeline and assembles the Result with its
-// telemetry trace.
+// telemetry trace. On failure the Result is partial but still carries the
+// trace (and any saturation gauges recorded before the failing stage), so
+// callers — the serve layer in particular — can report and aggregate
+// telemetry for failed and aborted compiles too.
 func compile(ctx context.Context, st *compileState) (*Result, error) {
 	rec := telemetry.NewRecorder()
-	if err := compilePipeline().Run(ctx, st, rec); err != nil {
-		return nil, fmt.Errorf("diospyros: %w", err)
-	}
+	runErr := compilePipeline().Run(ctx, st, rec)
 	rec.SetIterations(st.report.Iters)
 	rec.SetStopReason(string(st.report.Reason))
-	rec.Count("saturate.applied", int64(st.report.Applied))
-	rec.Count("saturate.nodes", int64(st.report.Nodes))
-	rec.Count("saturate.classes", int64(st.report.Classes))
-	rec.Count("vir.instrs", int64(len(st.ir.Instrs)))
+	if st.report.Reason != "" {
+		rec.Count("saturate.applied", int64(st.report.Applied))
+		rec.Count("saturate.nodes", int64(st.report.Nodes))
+		rec.Count("saturate.classes", int64(st.report.Classes))
+	}
+	if st.ir != nil {
+		rec.Count("vir.instrs", int64(len(st.ir.Instrs)))
+	}
+	if runErr != nil {
+		// A watchdog abort arrives as the context-cancellation cause; name
+		// it in the trace so aborts are distinguishable from plain
+		// cancellations both here and in aggregated metrics.
+		var abort *telemetry.AbortError
+		if errors.As(runErr, &abort) {
+			rec.SetStopReason("aborted:" + abort.Reason)
+		}
+		trace := rec.Finish()
+		return &Result{
+			Kernel:     st.lifted,
+			Saturation: st.report,
+			Trace:      trace,
+			Compile:    trace.Duration,
+			AllocBytes: trace.AllocBytes,
+		}, fmt.Errorf("diospyros: %w", runErr)
+	}
 	if st.opts.Explain {
 		rec.SetExplanation(buildExplanation(st.g, st.extractor, st.root, st.ir))
 		pn, pu := st.g.ProvenanceStats()

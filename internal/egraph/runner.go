@@ -111,6 +111,10 @@ type Limits struct {
 	// Backoff, when non-nil, schedules rules with egg's backoff policy:
 	// rules that over-match are banned with exponentially growing bans.
 	Backoff *Backoff
+	// Progress, when non-nil, receives live iteration/node/class counts
+	// during the run, readable from other goroutines (watchdogs that
+	// cancel the context when a budget is exceeded).
+	Progress *Progress
 }
 
 // Report summarizes a saturation run (feeds the paper's Table 1).
@@ -197,6 +201,7 @@ loop:
 			break
 		}
 		rep.Iterations = iter + 1
+		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
 		iterStart = time.Now()
 		gauge = telemetry.IterationGauge{
 			Iteration:      iter + 1,
@@ -260,6 +265,7 @@ loop:
 				}
 				if sinceCheck++; sinceCheck >= ctxCheckInterval {
 					sinceCheck = 0
+					lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
 					if reason, stop := ctxStop(); stop {
 						g.ClearRuleContext()
 						g.Rebuild()
@@ -272,6 +278,7 @@ loop:
 		}
 		g.ClearRuleContext()
 		g.Rebuild()
+		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
 		flushGauge()
 		if !changed && !ruleSkipped &&
 			(lim.Backoff == nil || !lim.Backoff.anyBanned(iter+1)) {
@@ -285,6 +292,7 @@ loop:
 	}
 	rep.Nodes = g.NumNodes()
 	rep.Classes = g.NumClasses()
+	lim.Progress.publish(rep.Iterations, rep.Nodes, rep.Classes)
 	rep.Duration = time.Since(start)
 	return rep
 }

@@ -14,6 +14,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"diospyros/internal/telemetry"
 )
@@ -68,23 +69,38 @@ func (p *Pipeline[S]) Stages() []string {
 // span per executed stage on rec (which may be nil). It stops at the first
 // failing stage, or before the next stage once ctx is cancelled, returning
 // a *StageError either way.
+//
+// When the context carries a structured logger (telemetry.WithLogger, as
+// the serve layer and the CLIs' -log flags attach), every executed stage
+// emits a debug line with its duration — and a warn line on failure — so
+// per-request logs show stage-level progress without any stage knowing
+// about logging.
 func (p *Pipeline[S]) Run(ctx context.Context, state S, rec *telemetry.Recorder) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	log := telemetry.LoggerFrom(ctx)
 	for _, st := range p.stages {
-		if err := ctx.Err(); err != nil {
+		if ctx.Err() != nil {
+			// context.Cause preserves a CancelCause (e.g. a watchdog's
+			// AbortError) that plain ctx.Err() would flatten to Canceled.
+			err := context.Cause(ctx)
+			log.Warn("pipeline cancelled", "stage", st.Name, "err", err)
 			return &StageError{Stage: st.Name, Err: err}
 		}
 		if st.Skip != nil && st.Skip(state) {
 			continue
 		}
 		span := rec.StartSpan(st.Name)
+		start := time.Now()
 		err := st.Run(ctx, state)
 		span.End()
 		if err != nil {
+			log.Warn("stage failed", "stage", st.Name,
+				"duration", time.Since(start), "err", err)
 			return &StageError{Stage: st.Name, Err: err}
 		}
+		log.Debug("stage complete", "stage", st.Name, "duration", time.Since(start))
 	}
 	return nil
 }

@@ -1,10 +1,15 @@
 package pipeline
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strings"
 	"testing"
+	"time"
 
 	"diospyros/internal/telemetry"
 )
@@ -90,6 +95,73 @@ func TestCancelledContextStopsBetweenStages(t *testing.T) {
 	}
 	if got := fmt.Sprint(s.log); got != "[a]" {
 		t.Fatalf("ran %v", s.log)
+	}
+}
+
+// TestCancelMidStageReturnsPromptly models a long-blocking stage (like
+// equality saturation) that honors its context: cancelling while the stage
+// runs must surface ctx.Err() quickly instead of waiting the stage out.
+func TestCancelMidStageReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	p := New(
+		Stage[*state]{Name: "block", Run: func(ctx context.Context, _ *state) error {
+			close(entered)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("stage outlived its context")
+			}
+		}},
+		appendStage("after"))
+	go func() {
+		<-entered
+		cancel()
+	}()
+
+	s := &state{}
+	start := time.Now()
+	err := p.Run(ctx, s, telemetry.NewRecorder())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "block" {
+		t.Fatalf("err = %v, want StageError for the blocking stage", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if len(s.log) != 0 {
+		t.Fatalf("stages after the cancelled one ran: %v", s.log)
+	}
+}
+
+// TestStageLoggingFromContext checks the context-carried logger receives
+// one debug line per executed stage, tagged with the request ID.
+func TestStageLoggingFromContext(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := telemetry.WithLogger(context.Background(),
+		telemetry.NewLogger(&buf, slog.LevelDebug, true))
+	ctx = telemetry.WithRequestID(ctx, "r1")
+
+	p := New(appendStage("a"), appendStage("b"))
+	if err := p.Run(ctx, &state{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, want := range []string{"a", "b"} {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec["stage"] != want || rec["msg"] != "stage complete" || rec["request_id"] != "r1" {
+			t.Errorf("line %d = %v", i, rec)
+		}
 	}
 }
 

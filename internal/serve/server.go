@@ -1,0 +1,416 @@
+// Package serve is the long-running HTTP compile service on top of the
+// staged pipeline: a bounded worker pool compiling kernels submitted to
+// POST /compile, with live observability as a first-class concern —
+//
+//   - GET /metrics: a Prometheus scrape endpoint backed by a
+//     telemetry.Registry aggregating counters, gauges, and latency
+//     histograms across requests (in-flight compiles, queue depth,
+//     per-stage latency, e-graph high-water marks, cancellations, and
+//     saturation stop/abort reasons);
+//   - structured per-request logs: every request gets an ID that threads
+//     through the pipeline's context, so stage-level slog lines correlate
+//     with the response;
+//   - GET /debug/pprof/...: live CPU/heap/goroutine profiles;
+//   - GET /healthz and /readyz: liveness and readiness probes;
+//   - a saturation watchdog per request (watchdog.go) sampling the running
+//     e-graph's gauges and aborting compiles that blow a node or
+//     wall-clock budget.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/egraph"
+	"diospyros/internal/telemetry"
+)
+
+// Config parameterizes a Server. The zero value serves with sane defaults:
+// GOMAXPROCS workers, a 64-deep admission queue, a 120 s request deadline,
+// and no watchdog budgets.
+type Config struct {
+	// Workers bounds concurrent compiles. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; beyond it the
+	// server sheds load with 503. 0 means 64; negative means no queue
+	// (immediate 503 when all workers are busy).
+	QueueDepth int
+	// RequestTimeout bounds one compile end to end. 0 means 120 s;
+	// negative means no deadline.
+	RequestTimeout time.Duration
+	// WatchdogNodes aborts a compile whose e-graph exceeds this many
+	// nodes. 0 disables the node budget.
+	WatchdogNodes int
+	// WatchdogWall aborts a compile running longer than this. 0 disables
+	// the wall budget.
+	WatchdogWall time.Duration
+	// WatchdogPoll is the watchdog sampling interval. 0 means 10 ms.
+	WatchdogPoll time.Duration
+	// Options is the base compile configuration; per-request fields
+	// (timeout, ablations, validation) may override it.
+	Options diospyros.Options
+	// Logger receives structured request and stage logs. nil means no
+	// logging.
+	Logger *slog.Logger
+	// Registry receives live metrics. nil means New creates one.
+	Registry *telemetry.Registry
+}
+
+// Server is the compile service. Create with New, expose via Handler.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	reg   *telemetry.Registry
+	slots chan struct{}
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	seq      atomic.Uint64
+	ready    atomic.Bool
+
+	// compileFn is the compile entry point, injectable in tests.
+	compileFn func(ctx context.Context, src string, opts diospyros.Options) (*diospyros.Result, error)
+}
+
+// New builds a Server from cfg, applying defaults. The server starts
+// ready; SetReady(false) drains it from load balancers before shutdown.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 64
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	switch {
+	case cfg.RequestTimeout == 0:
+		cfg.RequestTimeout = 120 * time.Second
+	case cfg.RequestTimeout < 0:
+		cfg.RequestTimeout = 0
+	}
+	if cfg.WatchdogPoll <= 0 {
+		cfg.WatchdogPoll = 10 * time.Millisecond
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.NewLogger(io.Discard, slog.LevelError, false)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:       cfg,
+		log:       log,
+		reg:       reg,
+		slots:     make(chan struct{}, cfg.Workers),
+		compileFn: diospyros.CompileSourceContext,
+	}
+	s.ready.Store(true)
+	s.reg.GaugeSet("diospyros_serve_workers", "Configured worker slots.", nil, float64(cfg.Workers))
+	return s
+}
+
+// Registry returns the server's live metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// SetReady flips the /readyz probe — false drains traffic before shutdown.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Handler returns the service's HTTP handler: /compile, /metrics,
+// /healthz, /readyz, and /debug/pprof, all wrapped in request logging and
+// request-rate metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.Handle("GET /metrics", s.reg)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with per-request structured logging and the
+// request-rate metrics every endpoint shares.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%08x", s.seq.Add(1))
+		ctx := telemetry.WithRequestID(telemetry.WithLogger(r.Context(), s.log), id)
+		w.Header().Set("X-Request-Id", id)
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		labels := map[string]string{"path": r.URL.Path, "code": strconv.Itoa(sw.code)}
+		s.reg.CounterAdd("diospyros_serve_requests_total",
+			"HTTP requests by path and status code.", labels, 1)
+		s.reg.Observe("diospyros_serve_request_duration_seconds",
+			"HTTP request latency by path.",
+			map[string]string{"path": r.URL.Path}, nil, elapsed.Seconds())
+
+		log := telemetry.LoggerFrom(ctx)
+		level := slog.LevelDebug // probe/scrape endpoints are noise at info
+		if r.URL.Path == "/compile" {
+			level = slog.LevelInfo
+		}
+		log.Log(ctx, level, "request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "duration", elapsed)
+	})
+}
+
+// CompileRequest is the JSON body of POST /compile (Content-Type
+// application/json). Any other content type is treated as raw kernel
+// source in the imperative kernel language.
+type CompileRequest struct {
+	// Source is the kernel in the imperative text language.
+	Source string `json:"source"`
+	// TimeoutMS overrides the saturation timeout, in milliseconds.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoVector disables vector rewrite rules (the scalar ablation).
+	NoVector bool `json:"no_vector,omitempty"`
+	// Validate runs translation validation on the result.
+	Validate bool `json:"validate,omitempty"`
+	// Explain attaches the rewrite-provenance report to the trace.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// CompileResponse is the JSON reply of POST /compile. Trace is present
+// whenever the pipeline ran at all — including failed, timed-out, and
+// watchdog-aborted compiles — so clients always see where time went.
+type CompileResponse struct {
+	RequestID string           `json:"request_id"`
+	Kernel    string           `json:"kernel,omitempty"`
+	C         string           `json:"c,omitempty"`
+	Assembly  string           `json:"assembly,omitempty"`
+	Cost      float64          `json:"cost,omitempty"`
+	Validated bool             `json:"validated,omitempty"`
+	Trace     *telemetry.Trace `json:"trace,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	// Aborted names the watchdog budget that killed the compile
+	// ("node-budget", "wall-budget"); empty otherwise.
+	Aborted string `json:"aborted,omitempty"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	log := telemetry.LoggerFrom(ctx)
+	id := telemetry.RequestID(ctx)
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.writeError(w, http.StatusRequestEntityTooLarge, id, "request body too large")
+		return
+	}
+	src, opts, err := s.parseRequest(r, body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, id, err.Error())
+		return
+	}
+
+	// Admission: take a free worker slot if one is available, otherwise
+	// queue up to QueueDepth waiters and shed the rest with 503, watching
+	// for the client to give up while queued.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			s.reg.CounterAdd("diospyros_serve_rejected_total",
+				"Requests shed by admission control.",
+				map[string]string{"reason": "queue_full"}, 1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, id, "compile queue full")
+			return
+		}
+		s.setQueueGauge()
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+			s.setQueueGauge()
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.setQueueGauge()
+			s.countCancelled("queued")
+			s.writeError(w, httpStatusClientClosedRequest, id, "client went away while queued")
+			return
+		}
+	}
+	defer func() { <-s.slots }() // release the worker slot on every path
+
+	s.reg.GaugeAdd("diospyros_serve_compiles_in_flight",
+		"Compiles currently executing.", nil, 1)
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		s.reg.GaugeAdd("diospyros_serve_compiles_in_flight",
+			"Compiles currently executing.", nil, -1)
+	}()
+
+	// Per-request compile context: deadline, cancellation cause for the
+	// watchdog, and the live e-graph gauge feed it samples.
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	if s.cfg.RequestTimeout > 0 {
+		var cancelT context.CancelFunc
+		cctx, cancelT = context.WithTimeout(cctx, s.cfg.RequestTimeout)
+		defer cancelT()
+	}
+	prog := &egraph.Progress{}
+	opts.Progress = prog
+	stopWatch := s.startWatchdog(cctx, prog, cancel, log)
+	defer stopWatch()
+
+	log.Info("compile start", "bytes", len(src))
+	res, err := s.compileFn(cctx, src, opts)
+	stopWatch()
+
+	var trace *telemetry.Trace
+	if res != nil {
+		trace = res.Trace
+		s.reg.ObserveTrace(trace)
+	}
+	if err != nil {
+		s.finishError(w, r, id, err, trace)
+		return
+	}
+
+	resp := &CompileResponse{
+		RequestID: id,
+		Kernel:    res.Kernel.Name,
+		C:         res.C,
+		Cost:      res.Cost,
+		Validated: res.Validated,
+		Trace:     trace,
+	}
+	if res.Program != nil {
+		resp.Assembly = res.Program.Disassemble()
+	}
+	log.Info("compile done",
+		"kernel", resp.Kernel, "cost", res.Cost,
+		"nodes", res.Saturation.Nodes, "stop", string(res.Saturation.Reason))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// httpStatusClientClosedRequest is nginx's 499: the client disconnected
+// before the response. There is no standard constant.
+const httpStatusClientClosedRequest = 499
+
+// finishError maps a compile error to a status code and counters: watchdog
+// aborts (422), server deadline (504), client cancellation (499), and
+// plain compile failures (400). The partial trace still ships.
+func (s *Server) finishError(w http.ResponseWriter, r *http.Request, id string, err error, trace *telemetry.Trace) {
+	log := telemetry.LoggerFrom(r.Context())
+	resp := &CompileResponse{RequestID: id, Error: err.Error(), Trace: trace}
+
+	var abort *telemetry.AbortError
+	switch {
+	case errors.As(err, &abort):
+		resp.Aborted = abort.Reason
+		s.reg.CounterAdd("diospyros_serve_saturation_aborts_total",
+			"Compiles aborted by the saturation watchdog, by budget.",
+			map[string]string{"reason": abort.Reason}, 1)
+		log.Warn("compile aborted by watchdog", "reason", abort.Reason)
+		s.writeJSON(w, http.StatusUnprocessableEntity, resp)
+	case r.Context().Err() != nil:
+		s.countCancelled("compiling")
+		log.Info("compile cancelled by client")
+		s.writeJSON(w, httpStatusClientClosedRequest, resp)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.CounterAdd("diospyros_serve_timeouts_total",
+			"Compiles that hit the server's request deadline.", nil, 1)
+		log.Warn("compile hit request deadline", "err", err)
+		s.writeJSON(w, http.StatusGatewayTimeout, resp)
+	default:
+		log.Warn("compile failed", "err", err)
+		s.writeJSON(w, http.StatusBadRequest, resp)
+	}
+}
+
+func (s *Server) setQueueGauge() {
+	s.reg.GaugeSet("diospyros_serve_queue_depth",
+		"Requests waiting for a worker slot.", nil, float64(s.queued.Load()))
+}
+
+func (s *Server) countCancelled(phase string) {
+	s.reg.CounterAdd("diospyros_serve_cancelled_total",
+		"Requests cancelled by the client, by phase.",
+		map[string]string{"phase": phase}, 1)
+}
+
+// parseRequest extracts kernel source and per-request option overrides:
+// JSON (CompileRequest) when the Content-Type says so, raw kernel source
+// otherwise.
+func (s *Server) parseRequest(r *http.Request, body []byte) (string, diospyros.Options, error) {
+	opts := s.cfg.Options
+	if ct := r.Header.Get("Content-Type"); ct == "application/json" {
+		var req CompileRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", opts, fmt.Errorf("bad JSON request: %w", err)
+		}
+		if req.Source == "" {
+			return "", opts, errors.New("missing \"source\" field")
+		}
+		if req.TimeoutMS > 0 {
+			opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		opts.DisableVectorRules = opts.DisableVectorRules || req.NoVector
+		opts.Validate = opts.Validate || req.Validate
+		opts.Explain = opts.Explain || req.Explain
+		return req.Source, opts, nil
+	}
+	if len(body) == 0 {
+		return "", opts, errors.New("empty request body")
+	}
+	return string(body), opts, nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, id, msg string) {
+	s.writeJSON(w, code, &CompileResponse{RequestID: id, Error: msg})
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/kernel"
+	"diospyros/internal/telemetry"
+)
+
+// dotprod is a small kernel that compiles in well under a second — the
+// workhorse of the end-to-end tests.
+const dotprod = `
+kernel dot4(a[4], b[4]) -> (out[1]) {
+    out[0] = 0.0;
+    for i in 0..4 {
+        out[0] = out[0] + a[i] * b[i];
+    }
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.NewLogger(io.Discard, slog.LevelDebug, false)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCompile(t *testing.T, url, body, contentType string) (*http.Response, *CompileResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/compile", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	return resp, &cr
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw)
+}
+
+// TestCompileAndMetricsChangeAcrossRequests is the acceptance-criteria
+// core: concurrent compiles succeed, and the /metrics gauges and
+// histograms move as requests flow through.
+func TestCompileAndMetricsChangeAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	before := scrape(t, ts.URL)
+	if strings.Contains(before, "diospyros_serve_requests_total") &&
+		strings.Contains(before, `path="/compile"`) {
+		t.Fatalf("compile metrics present before any compile:\n%s", before)
+	}
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d (%s)", resp.StatusCode, cr.Error)
+				return
+			}
+			if cr.Kernel != "dot4" || !strings.Contains(cr.C, "dot4") {
+				t.Errorf("bad response: kernel %q", cr.Kernel)
+			}
+			if cr.Trace == nil || len(cr.Trace.Stages) == 0 {
+				t.Error("response missing trace")
+			}
+			if cr.Assembly == "" {
+				t.Error("response missing assembly")
+			}
+			ids[i] = cr.RequestID
+		}()
+	}
+	wg.Wait()
+	if ids[0] == ids[1] || ids[0] == "" {
+		t.Errorf("request IDs not unique: %v", ids)
+	}
+
+	after := scrape(t, ts.URL)
+	for _, want := range []string{
+		`diospyros_serve_requests_total{code="200",path="/compile"} 2`,
+		`diospyros_stage_duration_seconds_count{stage="saturate"} 2`,
+		`diospyros_compile_duration_seconds_count 2`,
+		`diospyros_serve_compiles_in_flight 0`,
+		`diospyros_saturation_stop_total{reason="saturated"} 2`,
+	} {
+		if !strings.Contains(after, want+"\n") {
+			t.Errorf("missing %q in metrics:\n%s", want, after)
+		}
+	}
+	if !strings.Contains(after, "diospyros_saturation_nodes_max ") {
+		t.Error("missing node high-water mark")
+	}
+}
+
+// TestWatchdogNodeBudgetAbort sets a node budget below the kernel's
+// initial e-graph size, so the watchdog must fire on its first sample; the
+// abort is asserted in the response trace AND the aborts counter — the
+// acceptance criterion.
+func TestWatchdogNodeBudgetAbort(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/conv3x5.dios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AC rules make the saturation explode, so the compile reliably
+	// outlives the first watchdog sample; the saturation timeout is only a
+	// safety net should the watchdog ever fail to fire.
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		WatchdogNodes: 10,
+		WatchdogPoll:  time.Millisecond,
+		Options:       diospyros.Options{EnableAC: true, Timeout: 10 * time.Second},
+	})
+
+	resp, cr := postCompile(t, ts.URL, string(src), "text/plain")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	if cr.Aborted != "node-budget" {
+		t.Fatalf("aborted = %q", cr.Aborted)
+	}
+	if cr.Trace == nil || cr.Trace.StopReason != "aborted:node-budget" {
+		t.Fatalf("trace stop reason = %+v", cr.Trace)
+	}
+	metrics := scrape(t, ts.URL)
+	if !strings.Contains(metrics,
+		`diospyros_serve_saturation_aborts_total{reason="node-budget"} 1`+"\n") {
+		t.Errorf("abort counter missing:\n%s", metrics)
+	}
+}
+
+// blockingCompileFn returns a stub whose first call blocks until its
+// context ends (reporting the cancellation cause) and signals entry;
+// later calls succeed instantly.
+func blockingCompileFn(entered chan<- struct{}) func(context.Context, string, diospyros.Options) (*diospyros.Result, error) {
+	var once sync.Once
+	return func(ctx context.Context, _ string, _ diospyros.Options) (*diospyros.Result, error) {
+		blocked := false
+		once.Do(func() {
+			blocked = true
+			entered <- struct{}{}
+			<-ctx.Done()
+		})
+		if blocked {
+			err := context.Cause(ctx)
+			if err == nil {
+				err = ctx.Err()
+			}
+			return nil, err
+		}
+		return &diospyros.Result{
+			Kernel: &kernel.Lifted{Name: "stub"},
+			Trace:  &telemetry.Trace{},
+		}, nil
+	}
+}
+
+// TestClientCancellationReleasesWorkerSlot is the satellite requirement:
+// a cancelled request returns promptly, frees its worker slot for the next
+// request, and increments the cancellation counter.
+func TestClientCancellationReleasesWorkerSlot(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.compileFn = blockingCompileFn(entered)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/compile",
+		strings.NewReader(dotprod))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	<-entered // the compile holds the only worker slot
+	cancel()  // client gives up
+
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled request returned a response")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return promptly")
+	}
+
+	// The slot must be free again: a second compile completes quickly.
+	done := make(chan *http.Response, 1)
+	go func() {
+		resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+		_ = cr
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("follow-up compile status = %d", resp.StatusCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker slot not released after cancellation")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		metrics := scrape(t, ts.URL)
+		if strings.Contains(metrics, `diospyros_serve_cancelled_total{phase="compiling"} 1`+"\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation counter missing:\n%s", metrics)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueueFullSheds fills the single worker and the zero-depth queue,
+// then expects 503 + Retry-After for the overflow request.
+func TestQueueFullSheds(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	s.compileFn = blockingCompileFn(entered)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/compile",
+		strings.NewReader(dotprod))
+	go func() { _, _ = http.DefaultClient.Do(req) }()
+	<-entered
+
+	resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if !strings.Contains(scrape(t, ts.URL),
+		`diospyros_serve_rejected_total{reason="queue_full"} 1`+"\n") {
+		t.Error("rejected counter missing")
+	}
+	cancel()
+}
+
+// TestRequestDeadline asserts the server-imposed deadline maps to 504 and
+// the timeout counter.
+func TestRequestDeadline(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 50 * time.Millisecond})
+	s.compileFn = blockingCompileFn(entered)
+
+	go func() { <-entered }()
+	resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	if !strings.Contains(scrape(t, ts.URL), "diospyros_serve_timeouts_total 1\n") {
+		t.Error("timeout counter missing")
+	}
+}
+
+func TestJSONRequestWithOptions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body, _ := json.Marshal(CompileRequest{Source: dotprod, NoVector: true, Validate: true})
+	resp, cr := postCompile(t, ts.URL, string(body), "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	if !cr.Validated {
+		t.Error("validate option not honored")
+	}
+	if strings.Contains(cr.C, "vec_") {
+		t.Error("no_vector option not honored (vector intrinsics in output)")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, c := range []struct {
+		body, ct string
+	}{
+		{"", "text/plain"},                   // empty body
+		{"{not json", "application/json"},    // malformed JSON
+		{`{"source": ""}`, "application/json"}, // missing source
+		{"kernel oops(", "text/plain"},       // parse error
+	} {
+		resp, cr := postCompile(t, ts.URL, c.body, c.ct)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d", c.body, resp.StatusCode)
+		}
+		if cr.Error == "" {
+			t.Errorf("body %q: no error message", c.body)
+		}
+	}
+}
+
+func TestProbesAndPprof(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if got := get("/healthz").StatusCode; got != http.StatusOK {
+		t.Errorf("healthz = %d", got)
+	}
+	if got := get("/readyz").StatusCode; got != http.StatusOK {
+		t.Errorf("readyz = %d", got)
+	}
+	s.SetReady(false)
+	if got := get("/readyz").StatusCode; got != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d", got)
+	}
+	if got := get("/healthz").StatusCode; got != http.StatusOK {
+		t.Errorf("healthz while draining = %d", got)
+	}
+	if got := get("/debug/pprof/").StatusCode; got != http.StatusOK {
+		t.Errorf("pprof index = %d", got)
+	}
+	if got := get("/debug/pprof/cmdline").StatusCode; got != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", got)
+	}
+}
+
+// TestRequestIDInLogs ties the per-request ID to the stage-level log
+// lines — the structured-logging acceptance point.
+func TestRequestIDInLogs(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	logger := telemetry.NewLogger(lockedWriter{&mu, &buf}, slog.LevelDebug, true)
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if cr.RequestID == "" || resp.Header.Get("X-Request-Id") != cr.RequestID {
+		t.Fatalf("request ID mismatch: body %q, header %q",
+			cr.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	mu.Lock()
+	logs := buf.String()
+	mu.Unlock()
+	var stageLines, taggedLines int
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q", line)
+		}
+		if rec["msg"] == "stage complete" {
+			stageLines++
+			if rec["request_id"] == cr.RequestID {
+				taggedLines++
+			}
+		}
+	}
+	if stageLines < 4 {
+		t.Errorf("only %d stage log lines:\n%s", stageLines, logs)
+	}
+	if taggedLines != stageLines {
+		t.Errorf("%d/%d stage lines carry the request ID", taggedLines, stageLines)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestErrorClassification(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.compileFn = func(ctx context.Context, _ string, _ diospyros.Options) (*diospyros.Result, error) {
+		return nil, errors.New("boom")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(cr.Error, "boom") {
+		t.Fatalf("status = %d, err = %q", resp.StatusCode, cr.Error)
+	}
+}

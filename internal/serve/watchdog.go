@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"diospyros/internal/egraph"
+	"diospyros/internal/telemetry"
+)
+
+// startWatchdog launches the per-request saturation watchdog: a goroutine
+// that samples the compile's live e-graph gauges (egraph.Progress) every
+// WatchdogPoll and aborts the compile — by cancelling its context with a
+// *telemetry.AbortError cause — when the node-count or wall-clock budget
+// is exceeded. The abort reason then surfaces in the response trace's
+// StopReason ("aborted:<reason>") and in the
+// diospyros_serve_saturation_aborts_total counter.
+//
+// The returned stop function halts the watchdog; it is idempotent and must
+// be called once the compile returns. With both budgets disabled no
+// goroutine starts.
+func (s *Server) startWatchdog(ctx context.Context, prog *egraph.Progress, cancel context.CancelCauseFunc, log *slog.Logger) (stop func()) {
+	if s.cfg.WatchdogNodes <= 0 && s.cfg.WatchdogWall <= 0 {
+		return func() {}
+	}
+	stopped := make(chan struct{})
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(s.cfg.WatchdogPoll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopped:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			snap := prog.Snapshot()
+			s.reg.GaugeSet("diospyros_serve_watchdog_nodes",
+				"E-graph nodes of the most recently sampled running compile.",
+				nil, float64(snap.Nodes))
+			var reason string
+			switch {
+			case s.cfg.WatchdogNodes > 0 && snap.Nodes > s.cfg.WatchdogNodes:
+				reason = "node-budget"
+			case s.cfg.WatchdogWall > 0 && time.Since(start) > s.cfg.WatchdogWall:
+				reason = "wall-budget"
+			default:
+				continue
+			}
+			log.Warn("saturation watchdog firing",
+				"reason", reason, "iteration", snap.Iteration,
+				"nodes", snap.Nodes, "classes", snap.Classes,
+				"elapsed", time.Since(start))
+			cancel(&telemetry.AbortError{Reason: reason})
+			return
+		}
+	}()
+	return func() {
+		select {
+		case <-stopped:
+		default:
+			close(stopped)
+		}
+		<-done
+	}
+}

@@ -238,6 +238,40 @@ func TestRecorderCountConcurrent(t *testing.T) {
 	}
 }
 
+// TestRecorderConcurrentSpans exercises the full concurrency contract:
+// spans, counters, and setters racing from many goroutines (run under
+// -race in CI). Servers share one recorder across request handlers, so
+// every method must be safe, not just Count.
+func TestRecorderConcurrentSpans(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	const workers, spans = 8, 50
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				sp := rec.StartSpan("stage")
+				rec.Count("spans", 1)
+				sp.End()
+			}
+			if w == 0 {
+				rec.SetStopReason("saturated")
+				rec.SetIterations([]IterationGauge{{Iteration: 1}})
+			}
+		}()
+	}
+	wg.Wait()
+	tr := rec.Finish()
+	if len(tr.Stages) != workers*spans {
+		t.Fatalf("recorded %d spans, want %d", len(tr.Stages), workers*spans)
+	}
+	if tr.Counter("spans") != workers*spans || tr.StopReason != "saturated" {
+		t.Fatalf("counters/stop reason lost: %d %q", tr.Counter("spans"), tr.StopReason)
+	}
+}
+
 func TestTraceFormatTotalShareAndLongNames(t *testing.T) {
 	tr := &Trace{
 		Stages: []Span{

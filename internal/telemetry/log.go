@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging plumbing shared by the CLIs, the compile pipeline,
+// and the serve layer. A *slog.Logger travels in the context.Context that
+// already threads through every pipeline stage, so per-request identity
+// (request IDs, kernel names) is attached once at the edge and appears on
+// every stage- and saturation-level log line without any stage knowing
+// about servers.
+
+type loggerKey struct{}
+type requestIDKey struct{}
+
+// WithLogger returns a context carrying l. Pipeline stages and servers
+// retrieve it with LoggerFrom.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFrom returns the context's logger, or a logger that discards
+// everything when none (or a nil one) was attached — instrumented code
+// never needs a nil check.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+			return l
+		}
+	}
+	return discardLogger
+}
+
+// WithRequestID stamps a request ID on the context and on its logger, so
+// both structured log lines and response metadata agree on the ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	ctx = context.WithValue(ctx, requestIDKey{}, id)
+	return WithLogger(ctx, LoggerFrom(ctx).With(slog.String("request_id", id)))
+}
+
+// RequestID returns the context's request ID ("" when unset).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewLogger builds a leveled slog.Logger writing text or JSON lines to w —
+// the one constructor behind the CLIs' -log-format/-log-level flags and
+// the server's logger.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+var discardLogger = slog.New(discardHandler{})
+
+// discardHandler drops all records (slog.DiscardHandler needs go1.24; the
+// module targets go1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

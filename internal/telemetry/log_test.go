@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerFromDefaultsToDiscard(t *testing.T) {
+	l := LoggerFrom(context.Background())
+	if l == nil {
+		t.Fatal("nil logger")
+	}
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Error("default logger should discard")
+	}
+	if LoggerFrom(nil) == nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Error("nil ctx must still yield a logger")
+	}
+}
+
+func TestWithRequestIDThreadsThroughLogger(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithLogger(context.Background(), NewLogger(&buf, slog.LevelDebug, true))
+	ctx = WithRequestID(ctx, "r0000002a")
+
+	if got := RequestID(ctx); got != "r0000002a" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	LoggerFrom(ctx).Info("stage complete", "stage", "saturate")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if line["request_id"] != "r0000002a" || line["stage"] != "saturate" {
+		t.Errorf("log line = %v", line)
+	}
+}
+
+func TestNewLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, slog.LevelInfo, false).Info("hello", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "msg=hello") || !strings.Contains(out, "k=v") {
+		t.Errorf("text line = %q", out)
+	}
+	buf.Reset()
+	NewLogger(&buf, slog.LevelInfo, false).Debug("below level")
+	if buf.Len() != 0 {
+		t.Errorf("debug leaked at info level: %q", buf.String())
+	}
+}
+
+func TestRequestIDUnset(t *testing.T) {
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("RequestID on fresh ctx = %q", got)
+	}
+}

@@ -6,15 +6,80 @@ import (
 	"strings"
 )
 
-// promFamily is one metric family: HELP/TYPE header plus samples.
+// promFamily is one metric family: HELP/TYPE header plus samples. It is
+// the shared metrics model of the one-shot file exporter (PrometheusTexts)
+// and the live scrape Registry (registry.go): both reduce their state to
+// promFamily values and render through renderFamilies, so name hygiene and
+// escaping behave identically in a -metrics-out dump and a /metrics scrape.
 type promFamily struct {
 	name, help string
+	typ        string // "gauge", "counter", or "histogram"; "" means gauge
 	samples    []promSample
 }
 
 type promSample struct {
+	suffix string // appended to the family name ("_bucket", "_sum", ...) or ""
 	labels string // pre-rendered {k="v",...} or ""
 	value  float64
+}
+
+// renderFamilies renders metric families in the Prometheus text exposition
+// format (text/plain; version=0.0.4). Empty families are omitted.
+func renderFamilies(fams []promFamily) string {
+	var b strings.Builder
+	for _, f := range fams {
+		if len(f.samples) == 0 {
+			continue
+		}
+		typ := f.typ
+		if typ == "" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatPromValue(s.value))
+		}
+	}
+	return b.String()
+}
+
+// SanitizeMetricName maps an arbitrary string to a valid Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid byte becomes '_', a
+// leading digit is prefixed with '_', and an empty input becomes "_". Rule
+// and kernel names are user-controlled, so every dynamic name crossing
+// into a metric or label *name* position must pass through here (label
+// values are instead quoted and escaped by renderLabels).
+func SanitizeMetricName(s string) string {
+	return sanitizeName(s, true)
+}
+
+// SanitizeLabelName is SanitizeMetricName for label names, which
+// additionally forbid colons.
+func SanitizeLabelName(s string) string {
+	return sanitizeName(s, false)
+}
+
+func sanitizeName(s string, allowColon bool) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+		default:
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
 }
 
 // PrometheusText renders one trace in the Prometheus text exposition
@@ -87,21 +152,12 @@ func PrometheusTexts(traces []NamedTrace) string {
 		}
 	}
 
-	var b strings.Builder
-	for _, f := range fams {
-		if len(f.samples) == 0 {
-			continue
-		}
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name)
-		for _, s := range f.samples {
-			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatPromValue(s.value))
-		}
-	}
-	return b.String()
+	return renderFamilies(fams)
 }
 
-// renderLabels renders a label set as {k="v",...} with keys sorted. Go's %q
-// escaping matches the exposition format's rules for backslash, quote, and
+// renderLabels renders a label set as {k="v",...} with keys sorted. Label
+// names are sanitized (they cannot be quoted), and Go's %q escaping of the
+// values matches the exposition format's rules for backslash, quote, and
 // newline.
 func renderLabels(labels map[string]string) string {
 	if len(labels) == 0 {
@@ -118,7 +174,7 @@ func renderLabels(labels map[string]string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		fmt.Fprintf(&b, "%s=%q", SanitizeLabelName(k), labels[k])
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -12,6 +12,13 @@
 // compiled program (explain.go, -explain). All Recorder methods are
 // nil-receiver safe so callers that do not want telemetry can pass a nil
 // recorder.
+//
+// For long-running processes the package also provides a live metrics
+// Registry (registry.go) — counters, gauges, and histograms aggregated
+// across many compilations and rendered at a Prometheus scrape endpoint,
+// sharing the file exporter's rendering and name-hygiene model — and slog
+// plumbing (log.go) that threads a structured logger and per-request ID
+// through the pipeline's context.
 package telemetry
 
 import (
@@ -169,19 +176,19 @@ func (t *Trace) Format() string {
 	return b.String()
 }
 
-// Recorder accumulates telemetry during a pipeline run. Count is safe for
-// concurrent use, so fanned-out workers (e.g. parallel bench kernels) can
-// share one recorder's counters. Everything else remains single-threaded
-// by contract: spans model sequential, non-overlapping pipeline stages, and
-// SetIterations/SetStopReason/SetExplanation/Finish must be called from the
-// single goroutine driving the pipeline, after all concurrent Counts have
-// completed. The zero value is not usable — call NewRecorder, which stamps
-// the trace start.
+// Recorder accumulates telemetry during a pipeline run. All methods are
+// safe for concurrent use, so fanned-out workers (e.g. parallel bench
+// kernels or server request handlers) can share one recorder. Spans still
+// model pipeline stages and are appended in End order; overlapping spans
+// from concurrent goroutines are recorded faithfully but the stage table
+// assumes they rarely overlap. Finish must still happen last: it snapshots
+// whatever has been recorded, and later writes are lost. The zero value is
+// not usable — call NewRecorder, which stamps the trace start.
 type Recorder struct {
 	start      time.Time
 	startAlloc uint64
 
-	mu    sync.Mutex // guards trace.Counters
+	mu    sync.Mutex // guards trace
 	trace Trace
 }
 
@@ -212,12 +219,15 @@ func (s *ActiveSpan) End() {
 	if s == nil {
 		return
 	}
-	s.rec.trace.Stages = append(s.rec.trace.Stages, Span{
+	span := Span{
 		Name:       s.name,
 		Start:      s.started.Sub(s.rec.start),
 		Duration:   time.Since(s.started),
 		AllocBytes: totalAlloc() - s.startAlloc,
-	})
+	}
+	s.rec.mu.Lock()
+	s.rec.trace.Stages = append(s.rec.trace.Stages, span)
+	s.rec.mu.Unlock()
 }
 
 // Count adds delta to a named counter. Safe for concurrent use.
@@ -238,7 +248,9 @@ func (r *Recorder) SetIterations(gs []IterationGauge) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.trace.Iterations = gs
+	r.mu.Unlock()
 }
 
 // SetStopReason records why the saturation stage ended.
@@ -246,7 +258,9 @@ func (r *Recorder) SetStopReason(reason string) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.trace.StopReason = reason
+	r.mu.Unlock()
 }
 
 // SetExplanation attaches the provenance report of the extracted program.
@@ -254,7 +268,9 @@ func (r *Recorder) SetExplanation(e *Explanation) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.trace.Explanation = e
+	r.mu.Unlock()
 }
 
 // Finish stamps the end-to-end totals and returns the completed trace.
@@ -263,6 +279,8 @@ func (r *Recorder) Finish() *Trace {
 	if r == nil {
 		return &Trace{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.trace.Duration = time.Since(r.start)
 	r.trace.AllocBytes = totalAlloc() - r.startAlloc
 	return &r.trace

@@ -108,13 +108,17 @@ func stageSaturate(ctx context.Context, st *compileState) error {
 		MaxNodes:      st.opts.NodeLimit,
 		MaxIterations: st.opts.MaxIterations,
 		Timeout:       st.opts.Timeout,
+		Progress:      st.opts.Progress,
 	}
 	if st.opts.UseBackoff {
 		limits.Backoff = &egraph.Backoff{}
 	}
 	st.report = egraph.RunContext(ctx, st.g, ruleSet, limits)
 	if st.report.Reason == egraph.StopCancelled {
-		if err := ctx.Err(); err != nil {
+		// Prefer the cancellation cause: a watchdog abort
+		// (*telemetry.AbortError) stays distinguishable from a plain
+		// cancel or deadline all the way up the error chain.
+		if err := context.Cause(ctx); err != nil {
 			return err
 		}
 		return context.Canceled
