@@ -21,7 +21,9 @@
 // breakdown. -trace-out/-metrics-out export all compilation traces as
 // Chrome trace-event JSON / Prometheus text, and -bench-json writes
 // per-kernel cycles+profiles for regression tracking (the CI smoke job's
-// artifacts). Experiments run under a context cancelled by SIGINT/SIGTERM.
+// artifacts). -compare BENCH_PR3.json gates the run against a committed
+// baseline, exiting 1 when any kernel's cycles regress beyond -tolerance.
+// Experiments run under a context cancelled by SIGINT/SIGTERM.
 package main
 
 import (
@@ -62,10 +64,12 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write all kernels' compilation traces as Chrome trace-event JSON to this file")
 		metricOut  = flag.String("metrics-out", "", "write all kernels' compilation metrics in Prometheus text format to this file")
 		benchJSON  = flag.String("bench-json", "", "write per-kernel simulated cycles and profiles as JSON to this file")
+		compare    = flag.String("compare", "", "compare per-kernel cycles against this -bench-json baseline; exit 1 on regressions beyond -tolerance")
+		tolerance  = flag.Float64("tolerance", 0.15, "relative cycle regression tolerance for -compare (0.15 = +15% fails)")
 	)
 	flag.Parse()
 
-	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile
+	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile || *compare != ""
 	if !(*all || *table1 || *figure5 || *figure6 || *motivating || *expertCmp ||
 		*ablation || *costAbl || *theiaCase || *validate || exporting) {
 		flag.Usage()
@@ -153,6 +157,20 @@ func main() {
 			}
 			if err := os.WriteFile(*benchJSON, raw, 0o644); err != nil {
 				fail(err)
+			}
+		}
+		if *compare != "" {
+			baseline, err := os.ReadFile(*compare)
+			if err != nil {
+				fail(err)
+			}
+			verdict, err := bench.CompareBench(baseline, rows, *tolerance)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(bench.FormatCompare(verdict, *tolerance))
+			if bench.CountRegressions(verdict) > 0 {
+				os.Exit(1)
 			}
 		}
 	}

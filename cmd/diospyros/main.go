@@ -18,6 +18,8 @@
 //	diospyros -explain kernel.dios       # the rule chain justifying the output
 //	diospyros -trace-out t.json …        # Chrome trace-event JSON (Perfetto)
 //	diospyros -metrics-out m.prom …      # Prometheus text-format metrics
+//	diospyros -report r.html …           # self-contained HTML flight report
+//	diospyros -ac -backoff …             # AC rules under the backoff scheduler
 //
 // The compile runs under a context cancelled by SIGINT/SIGTERM, so an
 // interrupted equality saturation stops within one iteration.
@@ -54,6 +56,7 @@ func main() {
 		validate  = flag.Bool("validate", false, "run translation validation")
 		noVector  = flag.Bool("no-vector", false, "disable vector rewrite rules (scalar ablation)")
 		enableAC  = flag.Bool("ac", false, "enable full associativity/commutativity rules")
+		backoff   = flag.Bool("backoff", false, "schedule rules with the backoff policy (ban over-matching rules); useful with -ac")
 		timeout   = flag.Duration("timeout", 0, "equality saturation timeout (default 180s)")
 		nodeLimit = flag.Int("node-limit", 0, "e-graph node limit (default 10,000,000)")
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
@@ -64,6 +67,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "record rewrite provenance and print the rule chain justifying the output")
 		traceOut  = flag.String("trace-out", "", "write the pipeline trace as Chrome trace-event JSON to this file")
 		metricOut = flag.String("metrics-out", "", "write the pipeline trace in Prometheus text format to this file")
+		reportOut = flag.String("report", "", "write a self-contained HTML flight report (search, extraction, sim cycles) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -119,8 +123,14 @@ func main() {
 		NodeLimit:          *nodeLimit,
 		DisableVectorRules: *noVector,
 		EnableAC:           *enableAC,
+		UseBackoff:         *backoff,
 		Validate:           *validate,
 		Explain:            *explain,
+	}
+	if *reportOut != "" {
+		// The HTML report renders the flight-recorder sections, so a
+		// report compile always runs with the journal on.
+		opts.Journal = egraph.NewJournal(0)
 	}
 	res, err := diospyros.CompileSourceContext(ctx, string(src), opts)
 	if err != nil {
@@ -146,6 +156,33 @@ func main() {
 	}
 	if *metricOut != "" {
 		if err := os.WriteFile(*metricOut, []byte(res.Trace.PrometheusText(res.Kernel.Name)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *reportOut != "" {
+		data := telemetry.ReportData{
+			Title:    res.Kernel.Name,
+			Subtitle: fmt.Sprintf("%s · cost %.2f", flag.Arg(0), res.Cost),
+			Trace:    res.Trace,
+		}
+		// A simulator run supplies the cycle waterfall when the kernel
+		// compiled to FG3-lite; a report for an IR-only width still renders
+		// the search and extraction sections.
+		if res.Program != nil {
+			if _, sres, err := res.Run(randomInputs(res, *seed), nil); err == nil {
+				data.Cycle = diospyros.ReportCycleProfile(sres.Profile)
+			} else {
+				logger.Warn("report: simulator run failed; omitting cycle waterfall", "err", err)
+			}
+		}
+		f, err := os.Create(*reportOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.RenderReport(f, data); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
@@ -183,15 +220,7 @@ func main() {
 		}
 		fmt.Print(res.Program.Disassemble())
 	case *doRun:
-		r := rand.New(rand.NewSource(*seed))
-		inputs := map[string][]float64{}
-		for _, d := range res.Kernel.Inputs {
-			s := make([]float64, d.Len())
-			for i := range s {
-				s[i] = float64(int(r.Float64()*200-100)) / 10
-			}
-			inputs[d.Name] = s
-		}
+		inputs := randomInputs(res, *seed)
 		outputs, sres, err := res.Run(inputs, nil)
 		if err != nil {
 			fatal(err)
@@ -219,6 +248,21 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// randomInputs fills every kernel input with reproducible random tenths in
+// [-10, 10), the -run / -report simulation harness.
+func randomInputs(res *diospyros.Result, seed int64) map[string][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	inputs := map[string][]float64{}
+	for _, d := range res.Kernel.Inputs {
+		s := make([]float64, d.Len())
+		for i := range s {
+			s[i] = float64(int(r.Float64()*200-100)) / 10
+		}
+		inputs[d.Name] = s
+	}
+	return inputs
 }
 
 func fatal(err error) {

@@ -5,12 +5,21 @@
 //
 //	POST /compile        compile a kernel (raw source, or JSON with options)
 //	GET  /metrics        live Prometheus metrics across all requests
+//	GET  /traces         recent compiles as a Chrome trace file, one lane per request
 //	GET  /healthz        liveness probe
 //	GET  /readyz         readiness probe (503 while draining)
 //	GET  /debug/pprof/   live CPU/heap/goroutine profiles
 //
 //	curl -sS -X POST --data-binary @testdata/dotprod8.dios localhost:8175/compile
 //	curl -sS localhost:8175/metrics | grep diospyros_serve
+//
+// A POST /compile with "Accept: text/event-stream" streams the search
+// flight recorder live as Server-Sent Events — one event per rewrite-rule
+// firing, Backoff ban, iteration summary, and best-cost sample — ending
+// with a "result" event carrying the usual JSON response:
+//
+//	curl -sSN -H 'Accept: text/event-stream' \
+//	     --data-binary @testdata/conv3x5.dios localhost:8175/compile
 //
 // Compiles run on a bounded worker pool with an admission queue; a
 // per-request saturation watchdog aborts compiles whose e-graph or wall
@@ -46,6 +55,9 @@ func main() {
 		wdNodes    = flag.Int("watchdog-nodes", 2_000_000, "abort compiles whose e-graph exceeds this many nodes (0 disables)")
 		wdWall     = flag.Duration("watchdog-wall", 0, "abort compiles running longer than this (0 disables)")
 		satTimeout = flag.Duration("timeout", 0, "default equality-saturation timeout (default 180s)")
+		enableAC   = flag.Bool("ac", false, "enable full associativity/commutativity rules")
+		backoff    = flag.Bool("backoff", false, "schedule rules with the backoff policy (ban over-matching rules); useful with -ac")
+		traceLog   = flag.Int("trace-log", 0, "completed request traces kept for GET /traces (default 64, negative disables)")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON    = flag.Bool("log-json", false, "log JSON lines instead of text")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "shutdown grace period for in-flight compiles")
@@ -65,7 +77,12 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		WatchdogNodes:  *wdNodes,
 		WatchdogWall:   *wdWall,
-		Options:        diospyros.Options{Timeout: *satTimeout},
+		TraceLog:       *traceLog,
+		Options: diospyros.Options{
+			Timeout:    *satTimeout,
+			EnableAC:   *enableAC,
+			UseBackoff: *backoff,
+		},
 		Logger:         log,
 	})
 

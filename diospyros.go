@@ -77,6 +77,14 @@ type Options struct {
 	// *telemetry.AbortError cause; the abort reason then lands in the
 	// trace's StopReason as "aborted:<reason>".
 	Progress *egraph.Progress
+	// Journal, when non-nil, turns on the search flight recorder: the
+	// saturation run records per-iteration per-rule attribution, Backoff
+	// ban/unban events, and a best-cost trajectory into it (readable live
+	// from other goroutines — diosserve's SSE stream), extraction records
+	// its decision trace, and the completed trace carries both as
+	// Result.Trace.Search / Result.Trace.Extraction (the -report HTML).
+	// Create with egraph.NewJournal; nil keeps the recorder fully off.
+	Journal *egraph.Journal
 
 	// ExtraRules appends user-defined syntactic rewrite rules to the
 	// search, the paper's §6 extension mechanism. For example, a DSP with
@@ -182,6 +190,14 @@ func compile(ctx context.Context, st *compileState) (*Result, error) {
 	runErr := compilePipeline().Run(ctx, st, rec)
 	rec.SetIterations(st.report.Iters)
 	rec.SetStopReason(string(st.report.Reason))
+	if st.opts.Journal != nil {
+		// The search flight record attaches even to failed and aborted
+		// compiles — explaining what the watchdog killed is its job.
+		rec.SetSearch(searchTraceFromJournal(st.opts.Journal))
+		if st.extractor != nil {
+			rec.SetExtraction(extractionTrace(st.extractor, st.root))
+		}
+	}
 	if st.report.Reason != "" {
 		rec.Count("saturate.applied", int64(st.report.Applied))
 		rec.Count("saturate.nodes", int64(st.report.Nodes))

@@ -1,0 +1,125 @@
+package diospyros
+
+import (
+	"sort"
+
+	"diospyros/internal/egraph"
+	"diospyros/internal/extract"
+	"diospyros/internal/sim"
+	"diospyros/internal/telemetry"
+)
+
+// The flight-recorder glue: folds the raw search journal (internal/egraph)
+// and the extraction decision trace (internal/extract) into the
+// trace-serializable telemetry types, which is what the -report HTML, the
+// -json trace, and diosserve's SSE stream all consume.
+
+// searchTraceFromJournal aggregates the journal into per-rule attribution,
+// the ban timeline, and the best-cost trajectory.
+func searchTraceFromJournal(j *egraph.Journal) *telemetry.SearchTrace {
+	if j == nil {
+		return nil
+	}
+	st := &telemetry.SearchTrace{Events: j.Total(), EventsDropped: j.Dropped()}
+	rules := map[string]*telemetry.RuleAttribution{}
+	order := []string{}
+	ruleFor := func(name string) *telemetry.RuleAttribution {
+		r := rules[name]
+		if r == nil {
+			r = &telemetry.RuleAttribution{Rule: name}
+			rules[name] = r
+			order = append(order, name)
+		}
+		return r
+	}
+	for _, ev := range j.Events() {
+		switch ev.Kind {
+		case egraph.JournalRule:
+			r := ruleFor(ev.Rule)
+			r.Matches += ev.Matches
+			r.Applied += ev.Applied
+			r.NewNodes += ev.NewNodes
+			r.Duration += ev.Duration
+		case egraph.JournalBan:
+			r := ruleFor(ev.Rule)
+			r.Bans++
+			r.Matches += ev.Matches
+			r.Duration += ev.Duration
+			st.Bans = append(st.Bans, telemetry.BanSpan{
+				Rule: ev.Rule, Iteration: ev.Iteration, Until: ev.BannedUntil,
+				Matches: ev.Matches, Bans: ev.Bans,
+			})
+		case egraph.JournalCost:
+			st.BestCost = append(st.BestCost, telemetry.CostPoint{
+				Iteration: ev.Iteration, Cost: ev.Cost,
+			})
+		}
+	}
+	for _, name := range order {
+		st.Rules = append(st.Rules, *rules[name])
+	}
+	// Biggest node growth first — the rules that grew the e-graph are the
+	// ones a saturation blowup post-mortem needs on top.
+	sort.SliceStable(st.Rules, func(i, k int) bool {
+		if st.Rules[i].NewNodes != st.Rules[k].NewNodes {
+			return st.Rules[i].NewNodes > st.Rules[k].NewNodes
+		}
+		return st.Rules[i].Matches > st.Rules[k].Matches
+	})
+	return st
+}
+
+// extractionTrace builds the extraction flight record for the chosen
+// program rooted at root.
+func extractionTrace(ex *extract.Extractor, root egraph.ClassID) *telemetry.ExtractionTrace {
+	if ex == nil {
+		return nil
+	}
+	ds := ex.Decisions(root)
+	mc := ex.Movement(root)
+	et := &telemetry.ExtractionTrace{
+		TotalCost:   ex.Cost(root),
+		Classes:     len(ds),
+		Literal:     mc.Literal,
+		Contiguous:  mc.Contiguous,
+		Shuffles:    mc.Shuffles,
+		Selects:     mc.Selects,
+		Gathers:     mc.Gathers,
+		ScalarLanes: mc.ScalarLanes,
+	}
+	for _, d := range ds {
+		if d.Contested() {
+			et.Contested++
+		}
+		if len(et.Decisions) < telemetry.MaxDecisions {
+			et.Decisions = append(et.Decisions, telemetry.ExtractionDecision{
+				Class: int(d.Class), Winner: d.Winner,
+				WinnerCost: d.WinnerCost, WinnerOwn: d.WinnerOwn,
+				RunnerUp: d.RunnerUp, RunnerUpCost: d.RunnerUpCost,
+				Margin: d.Margin, Candidates: d.Candidates,
+			})
+		}
+	}
+	return et
+}
+
+// ReportCycleProfile converts a simulator cycle profile into the neutral
+// form the telemetry HTML report renders as a waterfall (telemetry cannot
+// import the simulator without a cycle).
+func ReportCycleProfile(p *sim.Profile) *telemetry.CycleProfile {
+	if p == nil {
+		return nil
+	}
+	cp := &telemetry.CycleProfile{
+		Total:        p.Cycles,
+		OperandStall: p.OperandStall,
+		MemoryStall:  p.MemoryStall,
+		BranchBubble: p.BranchBubble,
+	}
+	for _, o := range p.Hotspots(0) {
+		cp.Rows = append(cp.Rows, telemetry.CycleRow{
+			Name: o.Op, Count: o.Count, Cycles: o.Cycles, Stall: o.Stall,
+		})
+	}
+	return cp
+}

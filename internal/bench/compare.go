@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cycle-regression gate: diosbench -compare checks a fresh run's simulated
+// cycle counts against a committed -bench-json baseline (BENCH_PR3.json at
+// the repo root) and fails when any kernel slows down beyond a relative
+// tolerance. This is what keeps the CI bench job an actual regression test
+// instead of an artifact dump.
+
+// CompareStatus classifies one kernel's cycles against the baseline.
+type CompareStatus string
+
+const (
+	// CompareOK: within tolerance of the baseline.
+	CompareOK CompareStatus = "ok"
+	// CompareRegressed: slower than baseline beyond tolerance — the only
+	// status that fails the gate.
+	CompareRegressed CompareStatus = "regressed"
+	// CompareImproved: faster than baseline beyond tolerance. Worth
+	// noticing (the baseline is stale) but never a failure.
+	CompareImproved CompareStatus = "improved"
+	// CompareNew: present in this run but absent from the baseline.
+	CompareNew CompareStatus = "new"
+	// CompareMissing: in the baseline but not this run (e.g. an -only
+	// filter). Informational only.
+	CompareMissing CompareStatus = "missing"
+)
+
+// CompareRow is one kernel's verdict.
+type CompareRow struct {
+	ID       string
+	Baseline int64
+	Current  int64
+	// Delta is the relative cycle change, (current-baseline)/baseline;
+	// positive means slower. Zero for new/missing rows.
+	Delta  float64
+	Status CompareStatus
+}
+
+// CompareBench judges rows against a -bench-json baseline with the given
+// relative tolerance (0.15 means +15% cycles fails). Rows are returned in
+// baseline order, then new kernels, then baseline kernels missing from
+// this run.
+func CompareBench(baseline []byte, rows []T1Row, tolerance float64) ([]CompareRow, error) {
+	if tolerance < 0 {
+		return nil, fmt.Errorf("negative tolerance %v", tolerance)
+	}
+	var base []benchJSONRow
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("bad baseline: %w", err)
+	}
+	cur := make(map[string]int64, len(rows))
+	for _, r := range rows {
+		cur[r.Kernel.ID] = r.Cycles
+	}
+
+	var out []CompareRow
+	seen := map[string]bool{}
+	for _, b := range base {
+		seen[b.ID] = true
+		c, ok := cur[b.ID]
+		if !ok {
+			out = append(out, CompareRow{ID: b.ID, Baseline: b.Cycles, Status: CompareMissing})
+			continue
+		}
+		row := CompareRow{ID: b.ID, Baseline: b.Cycles, Current: c, Status: CompareOK}
+		if b.Cycles > 0 {
+			row.Delta = float64(c-b.Cycles) / float64(b.Cycles)
+		}
+		switch {
+		case row.Delta > tolerance:
+			row.Status = CompareRegressed
+		case row.Delta < -tolerance:
+			row.Status = CompareImproved
+		}
+		out = append(out, row)
+	}
+	var fresh []CompareRow
+	for id, c := range cur {
+		if !seen[id] {
+			fresh = append(fresh, CompareRow{ID: id, Current: c, Status: CompareNew})
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].ID < fresh[j].ID })
+	return append(out, fresh...), nil
+}
+
+// CountRegressions returns how many rows fail the gate.
+func CountRegressions(rows []CompareRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.Status == CompareRegressed {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatCompare renders the comparison as a table with a one-line verdict.
+func FormatCompare(rows []CompareRow, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== cycle regression check (tolerance %+.0f%%) ==\n", tolerance*100)
+	w := len("kernel")
+	for _, r := range rows {
+		if len(r.ID) > w {
+			w = len(r.ID)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s  %s\n", w, "kernel", "baseline", "current", "delta", "status")
+	for _, r := range rows {
+		delta := fmt.Sprintf("%+.1f%%", r.Delta*100)
+		if r.Status == CompareNew || r.Status == CompareMissing {
+			delta = "-"
+		}
+		fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s  %s\n",
+			w, r.ID, cycleCell(r.Baseline), cycleCell(r.Current), delta, r.Status)
+	}
+	if n := CountRegressions(rows); n > 0 {
+		fmt.Fprintf(&b, "FAIL: %d kernel(s) regressed beyond %.0f%%\n", n, tolerance*100)
+	} else {
+		fmt.Fprintf(&b, "OK: no kernel regressed beyond %.0f%%\n", tolerance*100)
+	}
+	return b.String()
+}
+
+func cycleCell(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func compareFixture(t *testing.T) []CompareRow {
+	t.Helper()
+	baseline := []byte(`[
+		{"id": "steady", "cycles": 1000},
+		{"id": "slower", "cycles": 1000},
+		{"id": "faster", "cycles": 1000},
+		{"id": "gone", "cycles": 500}
+	]`)
+	rows := []T1Row{
+		{Kernel: Kernel{ID: "steady"}, Cycles: 1100}, // +10%, inside tolerance
+		{Kernel: Kernel{ID: "slower"}, Cycles: 1200}, // +20%, regression
+		{Kernel: Kernel{ID: "faster"}, Cycles: 700},  // -30%, improvement
+		{Kernel: Kernel{ID: "fresh"}, Cycles: 42},    // not in baseline
+	}
+	out, err := CompareBench(baseline, rows, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompareBenchStatuses(t *testing.T) {
+	want := map[string]CompareStatus{
+		"steady": CompareOK,
+		"slower": CompareRegressed,
+		"faster": CompareImproved,
+		"gone":   CompareMissing,
+		"fresh":  CompareNew,
+	}
+	rows := compareFixture(t)
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for _, r := range rows {
+		if r.Status != want[r.ID] {
+			t.Errorf("%s: status %s, want %s (delta %+.2f)", r.ID, r.Status, want[r.ID], r.Delta)
+		}
+	}
+	if n := CountRegressions(rows); n != 1 {
+		t.Errorf("CountRegressions = %d, want 1", n)
+	}
+}
+
+func TestCompareBenchBoundary(t *testing.T) {
+	// Exactly at tolerance is not a regression: the gate is strict-greater.
+	rows, err := CompareBench([]byte(`[{"id":"k","cycles":100}]`),
+		[]T1Row{{Kernel: Kernel{ID: "k"}, Cycles: 115}}, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Status != CompareOK {
+		t.Errorf("+15%% at 15%% tolerance = %s, want ok", rows[0].Status)
+	}
+}
+
+func TestCompareBenchErrors(t *testing.T) {
+	if _, err := CompareBench([]byte(`{not json`), nil, 0.15); err == nil {
+		t.Error("bad baseline JSON accepted")
+	}
+	if _, err := CompareBench([]byte(`[]`), nil, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestFormatCompare(t *testing.T) {
+	rows := compareFixture(t)
+	out := FormatCompare(rows, 0.15)
+	for _, want := range []string{
+		"slower", "+20.0%", "regressed",
+		"faster", "-30.0%", "improved",
+		"FAIL: 1 kernel(s) regressed beyond 15%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	ok := FormatCompare(rows[:1], 0.15)
+	if !strings.Contains(ok, "OK: no kernel regressed") {
+		t.Errorf("clean run lacks OK verdict:\n%s", ok)
+	}
+}

@@ -1,0 +1,205 @@
+package egraph
+
+import (
+	"sync"
+	"testing"
+
+	"diospyros/internal/expr"
+)
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.append(JournalEvent{Kind: JournalIteration, Iteration: i + 1})
+	}
+	if got := j.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	if got := j.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.Iteration != int(wantSeq)+1 {
+			t.Fatalf("event %d = seq %d iter %d, want seq %d iter %d",
+				i, ev.Seq, ev.Iteration, wantSeq, wantSeq+1)
+		}
+	}
+}
+
+func TestJournalEventsSinceCursor(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 3; i++ {
+		j.append(JournalEvent{Kind: JournalIteration, Iteration: i + 1})
+	}
+	evs, cur := j.EventsSince(0)
+	if len(evs) != 3 || cur != 3 {
+		t.Fatalf("first read = %d events, cursor %d; want 3, 3", len(evs), cur)
+	}
+	evs, cur = j.EventsSince(cur)
+	if len(evs) != 0 || cur != 3 {
+		t.Fatalf("caught-up read = %d events, cursor %d; want 0, 3", len(evs), cur)
+	}
+	j.append(JournalEvent{Kind: JournalIteration, Iteration: 4})
+	evs, cur = j.EventsSince(cur)
+	if len(evs) != 1 || evs[0].Iteration != 4 || cur != 4 {
+		t.Fatalf("incremental read = %+v, cursor %d; want one iteration-4 event, 4", evs, cur)
+	}
+	// A cursor that fell behind the ring is clamped to the oldest survivor.
+	small := NewJournal(2)
+	for i := 0; i < 5; i++ {
+		small.append(JournalEvent{Kind: JournalIteration, Iteration: i + 1})
+	}
+	evs, _ = small.EventsSince(0)
+	if len(evs) != 2 || evs[0].Seq != 3 {
+		t.Fatalf("lagging read = %+v, want the last two events", evs)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.append(JournalEvent{})
+	j.SampleCost(nil, nil)
+	j.sampleCosts(New(), 1)
+	if j.Total() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal reported events")
+	}
+	if evs := j.Events(); evs != nil {
+		t.Fatalf("nil journal Events = %v", evs)
+	}
+}
+
+// TestRunJournalAttribution drives a real saturation with the journal on
+// and checks that per-rule attribution, iteration summaries, and the cost
+// trajectory all land.
+func TestRunJournalAttribution(t *testing.T) {
+	g := New()
+	root := g.AddExpr(expr.MustParse("(+ (* a (+ b c)) 0)"))
+	j := NewJournal(0)
+	j.SampleCost([]ClassID{root}, func(g *EGraph, r ClassID) (float64, bool) {
+		return float64(g.NumNodes()), true
+	})
+	rules := []Rewrite{
+		MustRewrite("add-zero", "(+ ?a 0)", "?a"),
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+	}
+	rep := Run(g, rules, Limits{Journal: j})
+	if !rep.Saturated() {
+		t.Fatalf("run did not saturate: %v", rep.Reason)
+	}
+
+	var ruleEvents, iterEvents, costEvents int
+	perRule := map[string]int{}
+	for _, ev := range j.Events() {
+		switch ev.Kind {
+		case JournalRule:
+			ruleEvents++
+			perRule[ev.Rule] += ev.Applied
+			if ev.Matches <= 0 {
+				t.Fatalf("rule event without matches: %+v", ev)
+			}
+		case JournalIteration:
+			iterEvents++
+			if ev.Nodes <= 0 || ev.Classes <= 0 {
+				t.Fatalf("iteration event missing graph size: %+v", ev)
+			}
+		case JournalCost:
+			costEvents++
+			if ev.Root != root || ev.Cost <= 0 {
+				t.Fatalf("bad cost event: %+v", ev)
+			}
+		}
+	}
+	if ruleEvents == 0 {
+		t.Fatal("no rule events recorded")
+	}
+	if iterEvents != rep.Iterations {
+		t.Fatalf("iteration events = %d, want %d", iterEvents, rep.Iterations)
+	}
+	if costEvents != rep.Iterations {
+		t.Fatalf("cost events = %d, want %d (one per iteration)", costEvents, rep.Iterations)
+	}
+	// Journal attribution must agree with the report's per-rule counts.
+	for name, want := range rep.PerRule {
+		if perRule[name] != want {
+			t.Fatalf("journal applied[%s] = %d, report says %d", name, perRule[name], want)
+		}
+	}
+}
+
+// TestRunJournalBanEvents forces the Backoff scheduler to ban a rule and
+// checks the ban and unban both appear in the journal.
+func TestRunJournalBanEvents(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(+ (+ a b) (+ c (+ d e)))"))
+	j := NewJournal(0)
+	rules := []Rewrite{
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+	}
+	rep := Run(g, rules, Limits{
+		MaxIterations: 12,
+		Backoff:       &Backoff{MatchLimit: 2, BanLength: 2},
+		Journal:       j,
+	})
+	var bans, unbans int
+	for _, ev := range j.Events() {
+		switch ev.Kind {
+		case JournalBan:
+			bans++
+			if ev.Rule != "comm-add" || ev.BannedUntil <= ev.Iteration || ev.Bans <= 0 {
+				t.Fatalf("malformed ban event: %+v", ev)
+			}
+		case JournalUnban:
+			unbans++
+			if ev.Rule != "comm-add" {
+				t.Fatalf("malformed unban event: %+v", ev)
+			}
+		}
+	}
+	if bans == 0 {
+		t.Fatalf("no ban events in journal (report: %+v)", rep)
+	}
+	if unbans == 0 {
+		t.Fatal("no unban events in journal")
+	}
+}
+
+// TestJournalConcurrentReads exercises the journal under -race: a reader
+// polls EventsSince while a saturation run writes.
+func TestJournalConcurrentReads(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(* a (+ b (+ c (+ d e))))"))
+	j := NewJournal(64)
+	rules := []Rewrite{
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+		MustRewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var cursor uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var evs []JournalEvent
+			evs, cursor = j.EventsSince(cursor)
+			_ = evs
+		}
+	}()
+	Run(g, rules, Limits{MaxIterations: 8, Journal: j})
+	close(done)
+	wg.Wait()
+	if j.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+}

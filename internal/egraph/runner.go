@@ -115,6 +115,13 @@ type Limits struct {
 	// during the run, readable from other goroutines (watchdogs that
 	// cancel the context when a budget is exceeded).
 	Progress *Progress
+	// Journal, when non-nil, turns on the search flight recorder: the run
+	// records per-iteration per-rule attribution (matches, applications,
+	// node growth, wall time), Backoff ban/unban events, iteration
+	// summaries, and — when the journal's cost sampler is armed — a
+	// best-cost trajectory per root. Other goroutines may read the journal
+	// while the run writes. Nil costs one branch per rule per iteration.
+	Journal *Journal
 }
 
 // Report summarizes a saturation run (feeds the paper's Table 1).
@@ -181,6 +188,7 @@ func RunContext(ctx context.Context, g *EGraph, rules []Rewrite, lim Limits) Rep
 	}
 	nodesOver := func() bool { return lim.MaxNodes > 0 && g.NumNodes() >= lim.MaxNodes }
 
+	jr := lim.Journal
 	var gauge telemetry.IterationGauge
 	var iterStart time.Time
 	flushGauge := func() {
@@ -188,6 +196,14 @@ func RunContext(ctx context.Context, g *EGraph, rules []Rewrite, lim Limits) Rep
 		gauge.Classes = g.NumClasses()
 		gauge.Duration = time.Since(iterStart)
 		rep.Iters = append(rep.Iters, gauge)
+		if jr != nil {
+			jr.append(JournalEvent{
+				Kind: JournalIteration, Iteration: gauge.Iteration,
+				Matches: gauge.Matches, Applied: gauge.Applied,
+				Nodes: gauge.Nodes, Classes: gauge.Classes,
+				Duration: gauge.Duration,
+			})
+		}
 	}
 
 loop:
@@ -210,23 +226,46 @@ loop:
 		}
 
 		type found struct {
-			rule    Rewrite
-			matches []Match
+			rule      Rewrite
+			matches   []Match
+			searchDur time.Duration
 		}
 		ruleSkipped := false
 		all := make([]found, 0, len(rules))
 		for _, r := range rules {
+			if jr != nil && lim.Backoff != nil {
+				// A rule whose ban expires exactly this iteration rejoins
+				// the search; make the transition visible in the journal.
+				if bans, until := lim.Backoff.Stat(r.Name()); bans > 0 && until == iter {
+					jr.append(JournalEvent{Kind: JournalUnban, Iteration: iter + 1,
+						Rule: r.Name(), Bans: bans})
+				}
+			}
 			if lim.Backoff != nil && lim.Backoff.banned(r.Name(), iter) {
 				ruleSkipped = true
 				continue
 			}
+			var searchStart time.Time
+			if jr != nil {
+				searchStart = time.Now()
+			}
 			ms := r.Search(g)
+			var searchDur time.Duration
+			if jr != nil {
+				searchDur = time.Since(searchStart)
+			}
 			if lim.Backoff != nil && lim.Backoff.record(r.Name(), len(ms), iter) {
+				if jr != nil {
+					bans, until := lim.Backoff.Stat(r.Name())
+					jr.append(JournalEvent{Kind: JournalBan, Iteration: iter + 1,
+						Rule: r.Name(), Matches: len(ms),
+						BannedUntil: until + 1, Bans: bans, Duration: searchDur})
+				}
 				ruleSkipped = true
 				continue
 			}
 			if len(ms) > 0 {
-				all = append(all, found{r, ms})
+				all = append(all, found{r, ms, searchDur})
 				gauge.Matches += len(ms)
 				gauge.PerRuleMatches[r.Name()] += len(ms)
 			}
@@ -242,7 +281,23 @@ loop:
 		changed := false
 		sinceCheck := 0
 		prov := g.ProvenanceEnabled()
+		// flushRule emits one rule-attribution event covering the rule's
+		// search and (possibly cut-short) apply phase this iteration.
+		flushRule := func(f found, applyStart time.Time, nodesBefore int) {
+			jr.append(JournalEvent{
+				Kind: JournalRule, Iteration: iter + 1, Rule: f.rule.Name(),
+				Matches: len(f.matches), Applied: gauge.PerRuleApplied[f.rule.Name()],
+				NewNodes: g.NumNodes() - nodesBefore,
+				Duration: f.searchDur + time.Since(applyStart),
+			})
+		}
 		for _, f := range all {
+			var applyStart time.Time
+			var nodesBefore int
+			if jr != nil {
+				applyStart = time.Now()
+				nodesBefore = g.NumNodes()
+			}
 			for _, m := range f.matches {
 				if prov {
 					// Attribute every node/union the applier creates to
@@ -260,6 +315,9 @@ loop:
 					g.ClearRuleContext()
 					g.Rebuild()
 					rep.Reason = StopNodeLimit
+					if jr != nil {
+						flushRule(f, applyStart, nodesBefore)
+					}
 					flushGauge()
 					break loop
 				}
@@ -270,16 +328,23 @@ loop:
 						g.ClearRuleContext()
 						g.Rebuild()
 						rep.Reason = reason
+						if jr != nil {
+							flushRule(f, applyStart, nodesBefore)
+						}
 						flushGauge()
 						break loop
 					}
 				}
+			}
+			if jr != nil {
+				flushRule(f, applyStart, nodesBefore)
 			}
 		}
 		g.ClearRuleContext()
 		g.Rebuild()
 		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
 		flushGauge()
+		jr.sampleCosts(g, iter+1)
 		if !changed && !ruleSkipped &&
 			(lim.Backoff == nil || !lim.Backoff.anyBanned(iter+1)) {
 			rep.Reason = StopSaturated

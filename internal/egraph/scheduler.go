@@ -65,6 +65,20 @@ func (b *Backoff) record(name string, matches, iter int) (skip bool) {
 	return true
 }
 
+// Stat reports a rule's lifetime ban count and the first iteration at
+// which its current ban no longer applies ((0, 0) for rules never banned).
+// Read-only: it does not materialize state for unknown rules.
+func (b *Backoff) Stat(name string) (bans, bannedUntil int) {
+	if b == nil || b.stats == nil {
+		return 0, 0
+	}
+	s, ok := b.stats[name]
+	if !ok {
+		return 0, 0
+	}
+	return s.bans, s.bannedUntil
+}
+
 // anyBanned reports whether any rule is banned at the given iteration.
 func (b *Backoff) anyBanned(iter int) bool {
 	for _, s := range b.stats {

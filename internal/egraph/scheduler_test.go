@@ -1,0 +1,139 @@
+package egraph
+
+import (
+	"testing"
+
+	"diospyros/internal/expr"
+)
+
+func TestBackoffDefaults(t *testing.T) {
+	b := &Backoff{}
+	if b.limit() != 1024 {
+		t.Fatalf("default MatchLimit = %d, want 1024", b.limit())
+	}
+	if b.banLen() != 4 {
+		t.Fatalf("default BanLength = %d, want 4", b.banLen())
+	}
+	if b.record("r", 1024, 0) {
+		t.Fatal("at-limit match count must not ban")
+	}
+	if !b.record("r", 1025, 0) {
+		t.Fatal("over-limit match count must ban")
+	}
+}
+
+// TestBackoffThresholdDoubling: after each ban both the match budget and
+// the ban length double (egg's exponential backoff).
+func TestBackoffThresholdDoubling(t *testing.T) {
+	b := &Backoff{MatchLimit: 4, BanLength: 2}
+
+	// First ban: budget 4, ban length 2.
+	if b.record("r", 4, 0) {
+		t.Fatal("4 matches within budget 4 must not ban")
+	}
+	if !b.record("r", 5, 0) {
+		t.Fatal("5 matches over budget 4 must ban")
+	}
+	bans, until := b.Stat("r")
+	if bans != 1 || until != 0+2 {
+		t.Fatalf("after first ban: bans=%d until=%d, want 1, 2", bans, until)
+	}
+
+	// Second offense at iteration 2 (ban expired): budget doubled to 8,
+	// ban length doubled to 4.
+	if b.record("r", 8, 2) {
+		t.Fatal("8 matches within doubled budget 8 must not ban")
+	}
+	if !b.record("r", 9, 2) {
+		t.Fatal("9 matches over doubled budget 8 must ban")
+	}
+	bans, until = b.Stat("r")
+	if bans != 2 || until != 2+4 {
+		t.Fatalf("after second ban: bans=%d until=%d, want 2, 6", bans, until)
+	}
+
+	// Third offense: budget 16, ban length 8.
+	if b.record("r", 16, 6) {
+		t.Fatal("16 matches within budget 16 must not ban")
+	}
+	if !b.record("r", 17, 6) {
+		t.Fatal("17 matches over budget 16 must ban")
+	}
+	if bans, until = b.Stat("r"); bans != 3 || until != 6+8 {
+		t.Fatalf("after third ban: bans=%d until=%d, want 3, 14", bans, until)
+	}
+}
+
+// TestBackoffBannedUntilExpiry: banned is half-open — the rule sits out
+// iterations < bannedUntil and runs again at bannedUntil.
+func TestBackoffBannedUntilExpiry(t *testing.T) {
+	b := &Backoff{MatchLimit: 1, BanLength: 3}
+	if !b.record("r", 2, 5) {
+		t.Fatal("expected ban")
+	}
+	_, until := b.Stat("r")
+	if until != 8 {
+		t.Fatalf("bannedUntil = %d, want 8", until)
+	}
+	for iter := 5; iter < 8; iter++ {
+		if !b.banned("r", iter) {
+			t.Fatalf("rule must be banned at iteration %d", iter)
+		}
+		if !b.anyBanned(iter) {
+			t.Fatalf("anyBanned(%d) = false with an active ban", iter)
+		}
+	}
+	if b.banned("r", 8) {
+		t.Fatal("ban must expire at bannedUntil")
+	}
+	if b.anyBanned(8) {
+		t.Fatal("anyBanned must clear once every ban expired")
+	}
+	if b.banned("other", 0) {
+		t.Fatal("never-banned rule reported banned")
+	}
+}
+
+func TestBackoffStatUnknownRule(t *testing.T) {
+	var b *Backoff
+	if bans, until := b.Stat("r"); bans != 0 || until != 0 {
+		t.Fatal("nil Backoff Stat must be zero")
+	}
+	b = &Backoff{}
+	if bans, until := b.Stat("r"); bans != 0 || until != 0 {
+		t.Fatal("unknown rule Stat must be zero")
+	}
+	if b.stats != nil {
+		t.Fatal("Stat materialized state for an unknown rule")
+	}
+}
+
+// TestBackoffSaturationOnlyOnBanFreeIteration: a run must not report
+// saturation while a rule is banned, even if no active rule changes the
+// graph — only a ban-free, change-free iteration is a fixpoint.
+func TestBackoffSaturationOnlyOnBanFreeIteration(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(+ (+ a b) (+ c d))"))
+	// comm-add over-matches immediately (3 adds > limit 1) and gets banned
+	// for 8 iterations; nothing else can change the graph meanwhile.
+	rules := []Rewrite{MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)")}
+	bo := &Backoff{MatchLimit: 1, BanLength: 8}
+	rep := Run(g, rules, Limits{MaxIterations: 64, Backoff: bo})
+	if !rep.Saturated() {
+		t.Fatalf("run should eventually saturate, got %v", rep.Reason)
+	}
+	// The ban from iteration 0 lasts through iteration 7; the earliest
+	// ban-free iteration is 8 (0-based), so at least 9 iterations ran.
+	if rep.Iterations < 9 {
+		t.Fatalf("saturation reported after %d iterations, inside the ban window", rep.Iterations)
+	}
+
+	// Control: without the ban the same shape saturates in 2 iterations
+	// (comm-add applies, second pass finds nothing new).
+	g2 := New()
+	g2.AddExpr(expr.MustParse("(+ (+ a b) (+ c d))"))
+	rep2 := Run(g2, rules, Limits{MaxIterations: 64})
+	if !rep2.Saturated() || rep2.Iterations >= 9 {
+		t.Fatalf("control run: %v after %d iterations", rep2.Reason, rep2.Iterations)
+	}
+}

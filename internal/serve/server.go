@@ -10,6 +10,8 @@
 //   - structured per-request logs: every request gets an ID that threads
 //     through the pipeline's context, so stage-level slog lines correlate
 //     with the response;
+//   - GET /traces: the last completed compiles as one Chrome trace-event
+//     file, one thread lane per request (traces.go);
 //   - GET /debug/pprof/...: live CPU/heap/goroutine profiles;
 //   - GET /healthz and /readyz: liveness and readiness probes;
 //   - a saturation watchdog per request (watchdog.go) sampling the running
@@ -57,6 +59,12 @@ type Config struct {
 	WatchdogWall time.Duration
 	// WatchdogPoll is the watchdog sampling interval. 0 means 10 ms.
 	WatchdogPoll time.Duration
+	// StreamHeartbeat is the SSE keep-alive comment interval for streaming
+	// compiles (stream.go). 0 means 15 s.
+	StreamHeartbeat time.Duration
+	// TraceLog bounds how many completed request traces the server retains
+	// for GET /traces (traces.go). 0 means 64; negative disables retention.
+	TraceLog int
 	// Options is the base compile configuration; per-request fields
 	// (timeout, ablations, validation) may override it.
 	Options diospyros.Options
@@ -69,10 +77,11 @@ type Config struct {
 
 // Server is the compile service. Create with New, expose via Handler.
 type Server struct {
-	cfg   Config
-	log   *slog.Logger
-	reg   *telemetry.Registry
-	slots chan struct{}
+	cfg    Config
+	log    *slog.Logger
+	reg    *telemetry.Registry
+	slots  chan struct{}
+	traces *traceRing
 
 	queued   atomic.Int64
 	inFlight atomic.Int64
@@ -104,6 +113,12 @@ func New(cfg Config) *Server {
 	if cfg.WatchdogPoll <= 0 {
 		cfg.WatchdogPoll = 10 * time.Millisecond
 	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 15 * time.Second
+	}
+	if cfg.TraceLog == 0 {
+		cfg.TraceLog = 64
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = telemetry.NewLogger(io.Discard, slog.LevelError, false)
@@ -112,11 +127,15 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	// A long-running compile service wants its own runtime on the scrape:
+	// goroutines, heap in use, and GC pauses alongside the compile metrics.
+	reg.EnableRuntimeMetrics()
 	s := &Server{
 		cfg:       cfg,
 		log:       log,
 		reg:       reg,
 		slots:     make(chan struct{}, cfg.Workers),
+		traces:    newTraceRing(cfg.TraceLog),
 		compileFn: diospyros.CompileSourceContext,
 	}
 	s.ready.Store(true)
@@ -137,6 +156,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.Handle("GET /metrics", s.reg)
+	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = io.WriteString(w, "ok\n")
 	})
@@ -165,6 +185,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the wrapped writer so the SSE stream (stream.go) still
+// sees a flushable connection through the instrumentation layer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps the mux with per-request structured logging and the
 // request-rate metrics every endpoint shares.
@@ -299,7 +330,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	stopWatch := s.startWatchdog(cctx, prog, cancel, log)
 	defer stopWatch()
 
+	if wantsStream(r) && s.streamCompile(w, r, cctx, id, src, opts) {
+		return
+	}
+
 	log.Info("compile start", "bytes", len(src))
+	started := time.Now()
 	res, err := s.compileFn(cctx, src, opts)
 	stopWatch()
 
@@ -307,37 +343,46 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if res != nil {
 		trace = res.Trace
 		s.reg.ObserveTrace(trace)
+		s.traces.record(id, kernelName(res), started, trace)
 	}
 	if err != nil {
-		s.finishError(w, r, id, err, trace)
+		resp, code := s.classifyError(r, id, err, trace)
+		s.writeJSON(w, code, resp)
 		return
 	}
+	resp := s.successResponse(r, id, res)
+	s.writeJSON(w, http.StatusOK, resp)
+}
 
+// successResponse assembles the reply for a completed compile and logs it.
+func (s *Server) successResponse(r *http.Request, id string, res *diospyros.Result) *CompileResponse {
 	resp := &CompileResponse{
 		RequestID: id,
 		Kernel:    res.Kernel.Name,
 		C:         res.C,
 		Cost:      res.Cost,
 		Validated: res.Validated,
-		Trace:     trace,
+		Trace:     res.Trace,
 	}
 	if res.Program != nil {
 		resp.Assembly = res.Program.Disassemble()
 	}
-	log.Info("compile done",
+	telemetry.LoggerFrom(r.Context()).Info("compile done",
 		"kernel", resp.Kernel, "cost", res.Cost,
 		"nodes", res.Saturation.Nodes, "stop", string(res.Saturation.Reason))
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // httpStatusClientClosedRequest is nginx's 499: the client disconnected
 // before the response. There is no standard constant.
 const httpStatusClientClosedRequest = 499
 
-// finishError maps a compile error to a status code and counters: watchdog
-// aborts (422), server deadline (504), client cancellation (499), and
-// plain compile failures (400). The partial trace still ships.
-func (s *Server) finishError(w http.ResponseWriter, r *http.Request, id string, err error, trace *telemetry.Trace) {
+// classifyError maps a compile error to a response and status code,
+// bumping the matching counters: watchdog aborts (422), server deadline
+// (504), client cancellation (499), and plain compile failures (400). The
+// partial trace still ships. The SSE path reuses the same classification,
+// carrying the code in the final stream event instead of the HTTP status.
+func (s *Server) classifyError(r *http.Request, id string, err error, trace *telemetry.Trace) (*CompileResponse, int) {
 	log := telemetry.LoggerFrom(r.Context())
 	resp := &CompileResponse{RequestID: id, Error: err.Error(), Trace: trace}
 
@@ -349,19 +394,19 @@ func (s *Server) finishError(w http.ResponseWriter, r *http.Request, id string, 
 			"Compiles aborted by the saturation watchdog, by budget.",
 			map[string]string{"reason": abort.Reason}, 1)
 		log.Warn("compile aborted by watchdog", "reason", abort.Reason)
-		s.writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return resp, http.StatusUnprocessableEntity
 	case r.Context().Err() != nil:
 		s.countCancelled("compiling")
 		log.Info("compile cancelled by client")
-		s.writeJSON(w, httpStatusClientClosedRequest, resp)
+		return resp, httpStatusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		s.reg.CounterAdd("diospyros_serve_timeouts_total",
 			"Compiles that hit the server's request deadline.", nil, 1)
 		log.Warn("compile hit request deadline", "err", err)
-		s.writeJSON(w, http.StatusGatewayTimeout, resp)
+		return resp, http.StatusGatewayTimeout
 	default:
 		log.Warn("compile failed", "err", err)
-		s.writeJSON(w, http.StatusBadRequest, resp)
+		return resp, http.StatusBadRequest
 	}
 }
 

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/telemetry"
+)
+
+// kernelName names a result for the trace ring; compiles that fail before
+// lifting have no kernel.
+func kernelName(res *diospyros.Result) string {
+	if res == nil || res.Kernel == nil {
+		return ""
+	}
+	return res.Kernel.Name
+}
+
+// Completed-compile trace retention: the server keeps the last
+// Config.TraceLog request traces in a ring and exports them from
+// GET /traces as one Chrome trace-event file. Each request becomes its own
+// thread lane (request ID → tid) under a shared "diosserve" process, with
+// timestamps offset to the request's start relative to server boot — so
+// loading the file in Perfetto shows concurrent compiles side by side on a
+// common timeline instead of interleaved into one lane.
+
+// traceRing is a bounded, concurrency-safe ring of completed request
+// traces. A nil ring (retention disabled) drops everything.
+type traceRing struct {
+	mu sync.Mutex
+	// epoch is the common time base all retained traces are offset
+	// against — the moment the server was built.
+	epoch time.Time
+	buf   []telemetry.NamedTrace
+	next  int
+	count int
+}
+
+func newTraceRing(size int) *traceRing {
+	if size <= 0 {
+		return nil
+	}
+	return &traceRing{epoch: time.Now(), buf: make([]telemetry.NamedTrace, size)}
+}
+
+// record retains one completed compile's trace. start is when the compile
+// began; kernel may be empty for compiles that failed before parsing.
+func (g *traceRing) record(id, kernel string, start time.Time, t *telemetry.Trace) {
+	if g == nil || t == nil {
+		return
+	}
+	nt := telemetry.NamedTrace{
+		Name:      kernel,
+		RequestID: id,
+		Epoch:     start.Sub(g.epoch),
+		Trace:     t,
+	}
+	g.mu.Lock()
+	g.buf[g.next] = nt
+	g.next = (g.next + 1) % len(g.buf)
+	if g.count < len(g.buf) {
+		g.count++
+	}
+	g.mu.Unlock()
+}
+
+// snapshot returns the retained traces, oldest first.
+func (g *traceRing) snapshot() []telemetry.NamedTrace {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]telemetry.NamedTrace, 0, g.count)
+	start := g.next - g.count
+	for i := 0; i < g.count; i++ {
+		out = append(out, g.buf[(start+i+len(g.buf))%len(g.buf)])
+	}
+	return out
+}
+
+// handleTraces serves GET /traces: the retained request traces as a Chrome
+// trace-event JSON file, one thread lane per request.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		http.Error(w, "trace retention disabled", http.StatusNotFound)
+		return
+	}
+	raw, err := telemetry.ChromeTraces(s.traces.snapshot())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="diosserve-trace.json"`)
+	_, _ = w.Write(raw)
+}

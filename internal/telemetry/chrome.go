@@ -8,9 +8,18 @@ import (
 
 // NamedTrace pairs a trace with the name it is exported under (a kernel ID
 // for benchmark runs, or the compile's kernel name for a single compile).
+//
+// RequestID and Epoch describe server-request traces: a trace carrying a
+// RequestID is exported into the shared server process with its own thread
+// lane per request (request ID → tid), and Epoch shifts its timestamps to
+// the request's start relative to the export's common time base, so
+// overlapping compiles from concurrent requests render as overlapping —
+// not interleaved — lanes.
 type NamedTrace struct {
-	Name  string
-	Trace *Trace
+	Name      string
+	RequestID string
+	Epoch     time.Duration
+	Trace     *Trace
 }
 
 // chromeEvent is one entry of the Chrome trace-event format's traceEvents
@@ -49,52 +58,75 @@ func (t *Trace) ChromeTrace(name string) ([]byte, error) {
 }
 
 // ChromeTraces renders traces as one Chrome trace-event JSON file — the
-// -trace-out artifact. Each trace becomes one "process" (named after the
-// kernel) with a stage timeline thread and, when the trace carries
+// -trace-out artifact. Each plain trace becomes one "process" (named after
+// the kernel) with a stage timeline thread and, when the trace carries
 // saturation gauges, an iteration thread; counters attach to a final
-// instant event. The output is the JSON-object form with a traceEvents
-// array, which both chrome://tracing and Perfetto accept.
+// instant event. Traces carrying a RequestID instead share a single
+// "diosserve" process and each get their own thread pair (request ID →
+// tid), with timestamps shifted by their Epoch, so concurrent requests
+// render as parallel lanes on a common timeline rather than interleaving
+// into one. The output is the JSON-object form with a traceEvents array,
+// which both chrome://tracing and Perfetto accept.
 func ChromeTraces(traces []NamedTrace) ([]byte, error) {
+	const serverPid = 1
 	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	serverNamed := false
 	for i, nt := range traces {
 		t := nt.Trace
 		if t == nil {
 			continue
 		}
 		pid := i + 1
+		tidStage, tidIter := tidStages, tidIterations
+		stageLane, iterLane := "stages", "saturation iterations"
+		base := nt.Epoch
 		name := nt.Name
 		if name == "" {
 			name = fmt.Sprintf("compile %d", pid)
 		}
-		f.TraceEvents = append(f.TraceEvents,
-			chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
-				Args: map[string]any{"name": name}},
-			chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidStages,
-				Args: map[string]any{"name": "stages"}},
-		)
+		if nt.RequestID != "" {
+			// Server-request trace: shared process, two tids per request.
+			pid = serverPid
+			tidStage, tidIter = 2*i+1, 2*i+2
+			label := nt.RequestID + " " + name
+			stageLane = label + " stages"
+			iterLane = label + " iterations"
+			if !serverNamed {
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+					Args: map[string]any{"name": "diosserve"}})
+				serverNamed = true
+			}
+		} else {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": name}})
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tidStage,
+			Args: map[string]any{"name": stageLane}})
 		for _, s := range t.Stages {
 			f.TraceEvents = append(f.TraceEvents, chromeEvent{
-				Name: s.Name, Ph: "X", Cat: "stage", Pid: pid, Tid: tidStages,
-				Ts: micros(s.Start), Dur: micros(s.Duration),
+				Name: s.Name, Ph: "X", Cat: "stage", Pid: pid, Tid: tidStage,
+				Ts: micros(base + s.Start), Dur: micros(s.Duration),
 				Args: map[string]any{"alloc_bytes": s.AllocBytes},
 			})
 		}
 		if len(t.Iterations) > 0 {
 			f.TraceEvents = append(f.TraceEvents, chromeEvent{
-				Name: "thread_name", Ph: "M", Pid: pid, Tid: tidIterations,
-				Args: map[string]any{"name": "saturation iterations"},
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tidIter,
+				Args: map[string]any{"name": iterLane},
 			})
 			// Iteration gauges record durations only; lay them out
 			// back-to-back from the saturate stage's start.
-			base := time.Duration(0)
-			if s, ok := t.Stage("saturate"); ok {
-				base = s.Start
-			}
 			at := base
+			if s, ok := t.Stage("saturate"); ok {
+				at += s.Start
+			}
 			for _, g := range t.Iterations {
 				f.TraceEvents = append(f.TraceEvents, chromeEvent{
 					Name: fmt.Sprintf("iteration %d", g.Iteration),
-					Ph:   "X", Cat: "saturation", Pid: pid, Tid: tidIterations,
+					Ph:   "X", Cat: "saturation", Pid: pid, Tid: tidIter,
 					Ts: micros(at), Dur: micros(g.Duration),
 					Args: map[string]any{
 						"nodes":   g.Nodes,
@@ -115,8 +147,8 @@ func ChromeTraces(traces []NamedTrace) ([]byte, error) {
 				args["stop_reason"] = t.StopReason
 			}
 			f.TraceEvents = append(f.TraceEvents, chromeEvent{
-				Name: "counters", Ph: "i", S: "p", Pid: pid, Tid: tidStages,
-				Ts: micros(t.Duration), Args: args,
+				Name: "counters", Ph: "i", S: "p", Pid: pid, Tid: tidStage,
+				Ts: micros(base + t.Duration), Args: args,
 			})
 		}
 	}

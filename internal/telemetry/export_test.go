@@ -124,6 +124,62 @@ func TestChromeTracesMultiKernelPids(t *testing.T) {
 	}
 }
 
+// TestChromeTracesRequestLanes checks the server-request form: traces
+// carrying a RequestID share one "diosserve" process, each on its own
+// thread pair, with timestamps shifted by the request's epoch — the shape
+// that keeps concurrent compiles from interleaving into one lane.
+func TestChromeTracesRequestLanes(t *testing.T) {
+	raw, err := ChromeTraces([]NamedTrace{
+		{Name: "a", RequestID: "r00000001", Trace: sampleTrace()},
+		{Name: "b", RequestID: "r00000002", Epoch: 5 * time.Millisecond, Trace: sampleTrace()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	stageTids := map[string]float64{} // request label -> stages tid
+	liftTs := map[float64]float64{}   // tid -> lift stage start
+	processes := 0
+	for _, ev := range f.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+		name := ev["name"].(string)
+		switch {
+		case name == "process_name":
+			processes++
+			if got := ev["args"].(map[string]any)["name"]; got != "diosserve" {
+				t.Errorf("process name = %v, want diosserve", got)
+			}
+		case name == "thread_name":
+			if lane := ev["args"].(map[string]any)["name"].(string); strings.HasSuffix(lane, " stages") {
+				stageTids[strings.TrimSuffix(lane, " stages")] = ev["tid"].(float64)
+			}
+		case name == "lift":
+			liftTs[ev["tid"].(float64)] = ev["ts"].(float64)
+		}
+	}
+	if len(pids) != 1 || !pids[1] {
+		t.Errorf("request traces spread over pids %v, want shared pid 1", pids)
+	}
+	if processes != 1 {
+		t.Errorf("process_name emitted %d times, want once", processes)
+	}
+	ta, tb := stageTids["r00000001 a"], stageTids["r00000002 b"]
+	if ta == 0 || tb == 0 || ta == tb {
+		t.Fatalf("stage lanes not distinct per request: %v", stageTids)
+	}
+	// Request b started 5 ms after the common epoch: its lift stage lands
+	// at 5000 µs while a's sits at 0.
+	if liftTs[ta] != 0 || liftTs[tb] != 5000 {
+		t.Errorf("lift starts = %v/%v µs, want 0/5000", liftTs[ta], liftTs[tb])
+	}
+}
+
 func TestPrometheusTextFormat(t *testing.T) {
 	out := PrometheusTexts([]NamedTrace{
 		{Name: "k1", Trace: sampleTrace()},

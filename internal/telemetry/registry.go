@@ -19,6 +19,9 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*liveFamily
+	// runtime, when set by EnableRuntimeMetrics, collects Go runtime
+	// gauges and the GC pause histogram at every render (runtime.go).
+	runtime *runtimeCollector
 }
 
 type liveFamily struct {
@@ -186,6 +189,14 @@ func (r *Registry) ObserveTrace(t *Trace) {
 func (r *Registry) PrometheusText() string {
 	if r == nil {
 		return ""
+	}
+	r.mu.Lock()
+	rc := r.runtime
+	r.mu.Unlock()
+	if rc != nil {
+		// Snapshot the runtime before taking the render lock: collection
+		// records through the public methods, which lock themselves.
+		r.collectRuntime(rc)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Go runtime health metrics for the scrape endpoint: goroutine count, heap
+// in use, and a GC pause histogram. Collection is pull-driven — each
+// PrometheusText render (i.e. each /metrics scrape) takes one
+// runtime.ReadMemStats snapshot and folds the GC pauses that happened
+// since the previous scrape into the histogram, so an idle server costs
+// nothing between scrapes.
+
+// GCPauseBuckets are the histogram bounds for GC stop-the-world pauses, in
+// seconds (10 µs .. 100 ms).
+var GCPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 1e-1,
+}
+
+// runtimeCollector tracks how far into the runtime's GC pause ring the
+// previous scrape got.
+type runtimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// EnableRuntimeMetrics turns on Go runtime metrics: every scrape reports
+// go_goroutines, go_memstats_heap_inuse_bytes, and the
+// go_gc_pause_seconds histogram of pauses since the last scrape.
+func (r *Registry) EnableRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.runtime == nil {
+		r.runtime = &runtimeCollector{}
+	}
+	r.mu.Unlock()
+}
+
+// collectRuntime takes one runtime snapshot and records it. Called at the
+// top of each render, outside the registry lock (it uses the public
+// recording methods).
+func (r *Registry) collectRuntime(c *runtimeCollector) {
+	r.GaugeSet("go_goroutines", "Number of goroutines.", nil,
+		float64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.GaugeSet("go_memstats_heap_inuse_bytes",
+		"Heap bytes in in-use spans.", nil, float64(ms.HeapInuse))
+	r.GaugeSet("go_memstats_heap_alloc_bytes",
+		"Heap bytes allocated and still in use.", nil, float64(ms.HeapAlloc))
+
+	c.mu.Lock()
+	since := c.lastNumGC
+	c.lastNumGC = ms.NumGC
+	c.mu.Unlock()
+	if ms.NumGC > since {
+		// PauseNs is a ring of the last 256 pauses; cycle i's pause lives
+		// at (i+255)%256. Scrapes further than 256 cycles behind lose the
+		// overwritten pauses.
+		if ms.NumGC-since > 256 {
+			since = ms.NumGC - 256
+		}
+		for i := since + 1; i <= ms.NumGC; i++ {
+			pause := float64(ms.PauseNs[(i+255)%256]) / 1e9
+			r.Observe("go_gc_pause_seconds",
+				"Garbage collection stop-the-world pause durations.",
+				nil, GCPauseBuckets, pause)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	if out := r.PrometheusText(); strings.Contains(out, "go_goroutines") {
+		t.Fatal("runtime metrics present before EnableRuntimeMetrics")
+	}
+	r.EnableRuntimeMetrics()
+	runtime.GC() // guarantee at least one pause for the histogram
+
+	out := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"go_goroutines ",
+		"# TYPE go_memstats_heap_inuse_bytes gauge",
+		"go_memstats_heap_inuse_bytes ",
+		"# TYPE go_gc_pause_seconds histogram",
+		`go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// Pause observations are cumulative across scrapes, not re-counted:
+	// a second scrape with no further GC keeps the same count.
+	count := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "go_gc_pause_seconds_count") {
+				return line
+			}
+		}
+		return ""
+	}
+	first := count(out)
+	second := count(r.PrometheusText())
+	if first == "" || first != second {
+		t.Errorf("pause count moved without GC: %q -> %q", first, second)
+	}
+}
+
+func TestRuntimeMetricsNilSafe(t *testing.T) {
+	var r *Registry
+	r.EnableRuntimeMetrics() // must not panic
+	if r.PrometheusText() != "" {
+		t.Fatal("nil registry rendered output")
+	}
+}

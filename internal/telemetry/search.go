@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The flight-recorder sections of a Trace. SearchTrace distills the
+// equality-saturation journal — which rules grew the e-graph, when the
+// Backoff scheduler banned them, and how the best extractable cost moved —
+// and ExtractionTrace records why extraction chose the program it did.
+// Both are plain data: the egraph and extract packages produce their raw
+// forms, the root package folds them into these types, and the HTML report
+// (report.go) and SSE stream render them.
+
+// RuleAttribution aggregates one rewrite rule's activity over a whole
+// saturation run.
+type RuleAttribution struct {
+	Rule string `json:"rule"`
+	// Matches/Applied total the rule's pattern matches and successful
+	// applications across all iterations it ran.
+	Matches int `json:"matches"`
+	Applied int `json:"applied"`
+	// NewNodes totals the e-node growth attributed to the rule's
+	// applications (measured before each rebuild's deduplication).
+	NewNodes int `json:"new_nodes"`
+	// Duration totals the rule's search+apply wall time.
+	Duration time.Duration `json:"duration"`
+	// Bans counts how often the Backoff scheduler banned the rule.
+	Bans int `json:"bans,omitempty"`
+}
+
+// BanSpan is one Backoff ban in the timeline: the rule sat out iterations
+// [Iteration, Until).
+type BanSpan struct {
+	Rule string `json:"rule"`
+	// Iteration is the 1-based iteration whose over-matching triggered the
+	// ban; the rule's matches that iteration were discarded.
+	Iteration int `json:"iteration"`
+	// Until is the first 1-based iteration at which the rule runs again.
+	Until int `json:"until"`
+	// Matches is the offending match count.
+	Matches int `json:"matches"`
+	// Bans is the rule's lifetime ban count after this ban (the ban length
+	// and match budget double with each).
+	Bans int `json:"bans"`
+}
+
+// CostPoint is one sample of the best-cost trajectory: the cheapest
+// extractable cost of the root after the given iteration.
+type CostPoint struct {
+	Iteration int     `json:"iteration"`
+	Cost      float64 `json:"cost"`
+}
+
+// SearchTrace is the saturation flight record attached to a Trace when the
+// compile ran with the journal enabled.
+type SearchTrace struct {
+	// Rules holds per-rule attribution, biggest node growth first.
+	Rules []RuleAttribution `json:"rules,omitempty"`
+	// Bans is the Backoff ban timeline in journal order.
+	Bans []BanSpan `json:"bans,omitempty"`
+	// BestCost is the per-iteration best-cost trajectory of the root.
+	BestCost []CostPoint `json:"best_cost,omitempty"`
+	// Events and EventsDropped report journal volume: Dropped > 0 means the
+	// ring evicted early events and the aggregates above cover a suffix.
+	Events        uint64 `json:"events"`
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+}
+
+// ExtractionDecision mirrors extract.Decision in trace-serializable form:
+// the winning implementation of one e-class against its runner-up.
+type ExtractionDecision struct {
+	Class        int     `json:"class"`
+	Winner       string  `json:"winner"`
+	WinnerCost   float64 `json:"winner_cost"`
+	WinnerOwn    float64 `json:"winner_own"`
+	RunnerUp     string  `json:"runner_up,omitempty"`
+	RunnerUpCost float64 `json:"runner_up_cost,omitempty"`
+	Margin       float64 `json:"margin,omitempty"`
+	Candidates   int     `json:"candidates"`
+}
+
+// ExtractionTrace is the extraction flight record: the decision trace for
+// the most contested classes plus the data-movement census of the chosen
+// program (shuffles vs. selects/gathers, the §4 cost-model distinction).
+type ExtractionTrace struct {
+	// TotalCost is the extracted program's cost under the model.
+	TotalCost float64 `json:"total_cost"`
+	// Classes counts e-classes in the chosen program; Contested counts
+	// those that offered at least two finite-cost implementations.
+	Classes   int `json:"classes"`
+	Contested int `json:"contested"`
+	// Decisions holds the decision trace, most contested (smallest margin)
+	// first, capped at MaxDecisions.
+	Decisions []ExtractionDecision `json:"decisions,omitempty"`
+	// Data-movement census of the chosen Vec nodes.
+	Literal     int `json:"literal,omitempty"`
+	Contiguous  int `json:"contiguous,omitempty"`
+	Shuffles    int `json:"shuffles,omitempty"`
+	Selects     int `json:"selects,omitempty"`
+	Gathers     int `json:"gathers,omitempty"`
+	ScalarLanes int `json:"scalar_lanes,omitempty"`
+}
+
+// MaxDecisions caps the decision trace carried by a Trace; deeper cuts stay
+// available programmatically via extract.Extractor.Decisions.
+const MaxDecisions = 32
+
+// Format renders the search flight record as text (rule table + bans).
+func (s *SearchTrace) Format() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	nameW := len("rule")
+	for _, r := range s.Rules {
+		if len(r.Rule) > nameW {
+			nameW = len(r.Rule)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s %9s %9s %9s %12s %5s\n", nameW, "rule",
+		"matches", "applied", "nodes+", "time", "bans")
+	for _, r := range s.Rules {
+		fmt.Fprintf(&b, "%-*s %9d %9d %9d %12v %5d\n", nameW, r.Rule,
+			r.Matches, r.Applied, r.NewNodes, r.Duration.Round(time.Microsecond), r.Bans)
+	}
+	for _, ban := range s.Bans {
+		fmt.Fprintf(&b, "ban: %s at iteration %d (%d matches), until %d\n",
+			ban.Rule, ban.Iteration, ban.Matches, ban.Until)
+	}
+	if s.EventsDropped > 0 {
+		fmt.Fprintf(&b, "journal: %d events (%d evicted by the ring bound)\n",
+			s.Events, s.EventsDropped)
+	}
+	return b.String()
+}
+
+// Format renders the extraction flight record as text.
+func (e *ExtractionTrace) Format() string {
+	if e == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "extraction: cost %.2f over %d classes (%d contested)\n",
+		e.TotalCost, e.Classes, e.Contested)
+	fmt.Fprintf(&b, "movement: %d contiguous, %d shuffles, %d selects, %d gathers, %d scalar lanes\n",
+		e.Contiguous, e.Shuffles, e.Selects, e.Gathers, e.ScalarLanes)
+	for _, d := range e.Decisions {
+		if d.RunnerUp == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "class %d: chose %s (%.2f) over %s (%.2f), margin %.2f\n",
+			d.Class, d.Winner, d.WinnerCost, d.RunnerUp, d.RunnerUpCost, d.Margin)
+	}
+	return b.String()
+}

@@ -68,6 +68,12 @@ type Trace struct {
 	// Explanation, when provenance recording was enabled, is the ordered
 	// rule chain that justifies the extracted program (the -explain report).
 	Explanation *Explanation `json:"explanation,omitempty"`
+	// Search and Extraction are the flight-recorder sections (search.go),
+	// present when the compile ran with a journal (Options.Journal / the
+	// -report flag / an SSE compile): per-rule saturation attribution with
+	// the Backoff ban timeline, and the extraction decision trace.
+	Search     *SearchTrace     `json:"search,omitempty"`
+	Extraction *ExtractionTrace `json:"extraction,omitempty"`
 	// Duration and AllocBytes cover the whole pipeline, including
 	// per-stage telemetry overhead not attributed to any span.
 	Duration   time.Duration `json:"duration"`
@@ -260,6 +266,26 @@ func (r *Recorder) SetStopReason(reason string) {
 	}
 	r.mu.Lock()
 	r.trace.StopReason = reason
+	r.mu.Unlock()
+}
+
+// SetSearch attaches the saturation flight record.
+func (r *Recorder) SetSearch(s *SearchTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace.Search = s
+	r.mu.Unlock()
+}
+
+// SetExtraction attaches the extraction flight record.
+func (r *Recorder) SetExtraction(e *ExtractionTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace.Extraction = e
 	r.mu.Unlock()
 }
 

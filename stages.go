@@ -3,6 +3,7 @@ package diospyros
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"diospyros/internal/cost"
 	"diospyros/internal/egraph"
@@ -109,9 +110,24 @@ func stageSaturate(ctx context.Context, st *compileState) error {
 		MaxIterations: st.opts.MaxIterations,
 		Timeout:       st.opts.Timeout,
 		Progress:      st.opts.Progress,
+		Journal:       st.opts.Journal,
 	}
 	if st.opts.UseBackoff {
 		limits.Backoff = &egraph.Backoff{}
+	}
+	if st.opts.Journal != nil {
+		// Arm the best-cost trajectory: after each iteration the journal
+		// samples what extraction would pay for the root right now, using
+		// the same model the extract stage will use.
+		model := resolveCostModel(st.opts)
+		st.opts.Journal.SampleCost([]egraph.ClassID{st.root},
+			func(g *egraph.EGraph, root egraph.ClassID) (float64, bool) {
+				c := extract.New(g, model).Cost(root)
+				if math.IsInf(c, 0) {
+					return 0, false
+				}
+				return c, true
+			})
 	}
 	st.report = egraph.RunContext(ctx, st.g, ruleSet, limits)
 	if st.report.Reason == egraph.StopCancelled {
@@ -126,20 +142,27 @@ func stageSaturate(ctx context.Context, st *compileState) error {
 	return nil
 }
 
-// stageExtract picks the cheapest program from the e-graph (§3.4).
-func stageExtract(_ context.Context, st *compileState) error {
-	model := st.opts.CostModel
+// resolveCostModel materializes the extraction cost model from the
+// options: the explicit override, the scalar-ablation model, or the default
+// Diospyros data-movement model, with per-op overrides applied on top.
+func resolveCostModel(opts Options) cost.Model {
+	model := opts.CostModel
 	if model == nil {
-		if st.opts.DisableVectorRules {
+		if opts.DisableVectorRules {
 			model = cost.ScalarOnly{}
 		} else {
-			model = cost.Diospyros{Width: st.opts.Width}
+			model = cost.Diospyros{Width: opts.Width}
 		}
 	}
-	if len(st.opts.OpCost) > 0 {
-		model = cost.Overrides{Base: model, PerOp: st.opts.OpCost}
+	if len(opts.OpCost) > 0 {
+		model = cost.Overrides{Base: model, PerOp: opts.OpCost}
 	}
-	st.extractor = extract.New(st.g, model)
+	return model
+}
+
+// stageExtract picks the cheapest program from the e-graph (§3.4).
+func stageExtract(_ context.Context, st *compileState) error {
+	st.extractor = extract.New(st.g, resolveCostModel(st.opts))
 	optimized, err := st.extractor.Expr(st.root)
 	if err != nil {
 		return fmt.Errorf("extraction failed: %w", err)
