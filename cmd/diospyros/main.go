@@ -59,6 +59,7 @@ func main() {
 		backoff   = flag.Bool("backoff", false, "schedule rules with the backoff policy (ban over-matching rules); useful with -ac")
 		timeout   = flag.Duration("timeout", 0, "equality saturation timeout (default 180s)")
 		nodeLimit = flag.Int("node-limit", 0, "e-graph node limit (default 10,000,000)")
+		matchWork = flag.Int("match-workers", 0, "parallel e-matching workers (default: one per CPU; 1 forces the serial matcher; results are identical at any setting)")
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
 		trace     = flag.Bool("trace", false, "print the per-stage pipeline trace to stderr")
 		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (debug logs every pipeline stage)")
@@ -121,6 +122,7 @@ func main() {
 	opts := diospyros.Options{
 		Timeout:            *timeout,
 		NodeLimit:          *nodeLimit,
+		MatchWorkers:       *matchWork,
 		DisableVectorRules: *noVector,
 		EnableAC:           *enableAC,
 		UseBackoff:         *backoff,

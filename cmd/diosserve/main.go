@@ -21,6 +21,11 @@
 //	curl -sSN -H 'Accept: text/event-stream' \
 //	     --data-binary @testdata/conv3x5.dios localhost:8175/compile
 //
+// Repeat compiles of the same kernel with the same options are served
+// from a content-addressed cache (the X-Dios-Cache response header says
+// hit, miss, or coalesced; -cache-bytes budgets it), and concurrent
+// identical requests are coalesced into a single compile.
+//
 // Compiles run on a bounded worker pool with an admission queue; a
 // per-request saturation watchdog aborts compiles whose e-graph or wall
 // clock blows the -watchdog-nodes / -watchdog-wall budgets. Every request
@@ -55,6 +60,8 @@ func main() {
 		wdNodes    = flag.Int("watchdog-nodes", 2_000_000, "abort compiles whose e-graph exceeds this many nodes (0 disables)")
 		wdWall     = flag.Duration("watchdog-wall", 0, "abort compiles running longer than this (0 disables)")
 		satTimeout = flag.Duration("timeout", 0, "default equality-saturation timeout (default 180s)")
+		matchWork  = flag.Int("match-workers", 0, "parallel e-matching workers per compile (default: one per CPU; 1 forces serial; output is identical at any setting)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "content-addressed compile cache budget in bytes (default 64 MiB, negative disables)")
 		enableAC   = flag.Bool("ac", false, "enable full associativity/commutativity rules")
 		backoff    = flag.Bool("backoff", false, "schedule rules with the backoff policy (ban over-matching rules); useful with -ac")
 		traceLog   = flag.Int("trace-log", 0, "completed request traces kept for GET /traces (default 64, negative disables)")
@@ -78,12 +85,14 @@ func main() {
 		WatchdogNodes:  *wdNodes,
 		WatchdogWall:   *wdWall,
 		TraceLog:       *traceLog,
+		CacheBytes:     *cacheBytes,
 		Options: diospyros.Options{
-			Timeout:    *satTimeout,
-			EnableAC:   *enableAC,
-			UseBackoff: *backoff,
+			Timeout:      *satTimeout,
+			EnableAC:     *enableAC,
+			UseBackoff:   *backoff,
+			MatchWorkers: *matchWork,
 		},
-		Logger:         log,
+		Logger: log,
 	})
 
 	httpSrv := &http.Server{

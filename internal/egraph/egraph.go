@@ -93,15 +93,43 @@ func (g *EGraph) NumNodes() int { return g.nodeCount }
 // Find returns the canonical representative of the class. IDs that were
 // never issued by this graph are returned unchanged (and will not resolve
 // to any class).
+//
+// Find performs no writes when the chain from id to its root has length at
+// most one, which is the steady state after CompressPaths (and, for IDs
+// stored inside class node lists, after Rebuild). The parallel match phase
+// relies on this: after a serial CompressPaths, concurrent searchers may
+// call Find freely without racing on the union-find array.
 func (g *EGraph) Find(id ClassID) ClassID {
 	if int(id) >= len(g.uf) {
 		return id
 	}
 	for g.uf[id] != id {
-		g.uf[id] = g.uf[g.uf[id]] // path halving
-		id = g.uf[id]
+		next := g.uf[id]
+		if g.uf[next] == next {
+			// Parent is the root: nothing to halve, and — critically for
+			// the read-only parallel search phase — nothing to write.
+			return next
+		}
+		g.uf[id] = g.uf[next] // path halving
+		id = g.uf[next]
 	}
 	return id
+}
+
+// CompressPaths fully compresses the union-find so every ID points directly
+// at its canonical root. After it returns, Find never mutates the structure
+// until the next Union, making the e-graph safe for concurrent read-only
+// searchers. The saturation runner calls it once per iteration before
+// fanning the match phase out across workers.
+func (g *EGraph) CompressPaths() {
+	for i := range g.uf {
+		id := ClassID(i)
+		for g.uf[id] != id {
+			g.uf[id] = g.uf[g.uf[id]]
+			id = g.uf[id]
+		}
+		g.uf[i] = id
+	}
 }
 
 // Class returns the canonical class for id.
@@ -120,6 +148,16 @@ func (g *EGraph) Classes(f func(*EClass)) {
 			f(cls)
 		}
 	}
+}
+
+// CanonicalClasses returns every canonical class, sorted by ID — the
+// snapshot the parallel match phase shards across workers. The slice is
+// freshly allocated; the *EClass values are the live classes, so callers
+// must not mutate them while other goroutines read the graph.
+func (g *EGraph) CanonicalClasses() []*EClass {
+	out := make([]*EClass, 0, len(g.classes))
+	g.Classes(func(cls *EClass) { out = append(out, cls) })
+	return out
 }
 
 // canonicalize rewrites the node's children to canonical class IDs in place.

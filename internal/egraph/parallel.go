@@ -1,0 +1,187 @@
+package egraph
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The parallel match phase. Equality saturation alternates a read-only
+// search phase (every rule matched against every e-class) with a mutating
+// apply/rebuild phase. The search phase dominates compile time on large
+// kernels and is embarrassingly parallel: this file shards the canonical
+// e-class list across a bounded worker pool, collects matches into
+// per-(rule, shard) buffers, and merges them in canonical (rule, e-class
+// ID) order, so the runner's apply phase — and therefore the extracted
+// program, the Journal, and rewrite provenance — is bit-for-bit identical
+// at any worker count.
+//
+// Safety rests on two invariants, both enforced by the runner:
+//
+//  1. Searchers never mutate the graph (the Rewrite contract). All
+//     built-in rules defer node creation to Apply.
+//  2. Find performs no union-find writes once paths are compressed. The
+//     runner calls CompressPaths serially before fanning out, after which
+//     every chain has length ≤ 1 and Find's path-halving never fires.
+
+// ShardedRewrite is optionally implemented by rewrites whose search can be
+// restricted to a subset of e-classes. The runner uses it to shard the
+// match phase across workers: each shard is a contiguous run of the
+// canonical class list (sorted by ID), and the per-shard results are
+// concatenated in shard order, so implementations must derive matches from
+// the given classes only, in the order given. SearchClasses must be
+// read-only and safe for concurrent use with other searchers.
+//
+// Rewrites that do not implement the interface still participate in
+// parallel matching — each one runs as a single whole-graph Search task —
+// but cannot be split across workers.
+type ShardedRewrite interface {
+	Rewrite
+	// SearchClasses returns the rewrite's matches within the given
+	// canonical classes, in class order.
+	SearchClasses(g *EGraph, classes []*EClass) []Match
+}
+
+// SearchClasses restricts the syntactic pattern search to the given
+// classes, making every parsed rewrite shardable.
+func (r *patternRewrite) SearchClasses(g *EGraph, classes []*EClass) []Match {
+	var out []Match
+	for _, cls := range classes {
+		out = append(out, g.matchClass(r.lhs, cls.ID)...)
+	}
+	return out
+}
+
+// DefaultMatchWorkers is the worker-pool size used when Limits.MatchWorkers
+// is zero: one worker per available CPU.
+func DefaultMatchWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// matchShardMin is the smallest shard handed to one match task. Shards
+// cheaper than this cost more in scheduling than they win in parallelism.
+const matchShardMin = 32
+
+// matchParallelMinClasses gates the parallel matcher: graphs smaller than
+// this search faster serially than the pool spins up. The cutover is
+// behavior-neutral — results are identical on both paths.
+const matchParallelMinClasses = 64
+
+// ruleMatches is one rule's merged search result for one iteration.
+type ruleMatches struct {
+	matches []Match
+	// searchDur sums the rule's per-shard search times — attributed CPU
+	// time, not wall time (shards run concurrently). The iteration wall
+	// time in the Journal and the saturate stage span stay wall-clock.
+	searchDur time.Duration
+}
+
+// searchParallel runs the read-only match phase for rules over g on a
+// bounded worker pool, returning per-rule matches in the same order and
+// with the same contents the serial matcher would produce: within each
+// rule, matches appear in canonical e-class order. The caller must pass
+// only rules eligible to search this iteration (bans already filtered).
+//
+// cancelled reports that ctx fired before every task completed; partial
+// results are discarded and the caller stops the run, mirroring the serial
+// matcher's between-rules cancellation check.
+func searchParallel(ctx context.Context, g *EGraph, rules []Rewrite, workers int) (out []ruleMatches, cancelled bool) {
+	// Serial prologue: after this, Find is write-free until the next Union.
+	g.CompressPaths()
+	classes := g.CanonicalClasses()
+
+	shardSize := len(classes) / (workers * 4)
+	if shardSize < matchShardMin {
+		shardSize = matchShardMin
+	}
+	numShards := (len(classes) + shardSize - 1) / shardSize
+	if numShards < 1 {
+		numShards = 1
+	}
+
+	type task struct{ rule, shard int }
+	var tasks []task
+	results := make([][][]Match, len(rules))
+	durs := make([][]time.Duration, len(rules))
+	for i, r := range rules {
+		shards := 1
+		if _, ok := r.(ShardedRewrite); ok {
+			shards = numShards
+		}
+		results[i] = make([][]Match, shards)
+		durs[i] = make([]time.Duration, shards)
+		for s := 0; s < shards; s++ {
+			tasks = append(tasks, task{rule: i, shard: s})
+		}
+	}
+
+	var next atomic.Int64
+	var stopped atomic.Bool
+	done := ctx.Done()
+	run := func(t task) {
+		r := rules[t.rule]
+		start := time.Now()
+		var ms []Match
+		if sr, ok := r.(ShardedRewrite); ok {
+			lo := t.shard * shardSize
+			hi := lo + shardSize
+			if hi > len(classes) {
+				hi = len(classes)
+			}
+			ms = sr.SearchClasses(g, classes[lo:hi])
+		} else {
+			ms = r.Search(g)
+		}
+		results[t.rule][t.shard] = ms
+		durs[t.rule][t.shard] = time.Since(start)
+	}
+
+	n := workers
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				select {
+				case <-done:
+					stopped.Store(true)
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				run(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if stopped.Load() {
+		return nil, true
+	}
+
+	// Deterministic merge: rule order, then shard (= canonical class) order.
+	out = make([]ruleMatches, len(rules))
+	for i := range rules {
+		total := 0
+		for _, ms := range results[i] {
+			total += len(ms)
+		}
+		merged := make([]Match, 0, total)
+		var d time.Duration
+		for s, ms := range results[i] {
+			merged = append(merged, ms...)
+			d += durs[i][s]
+		}
+		out[i] = ruleMatches{matches: merged, searchDur: d}
+	}
+	return out, false
+}

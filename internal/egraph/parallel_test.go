@@ -1,0 +1,177 @@
+package egraph
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"diospyros/internal/expr"
+)
+
+// deepExpr builds a chain (+ (* x_i c) ...) wide enough that the e-graph
+// clears the parallel matcher's class-count gate.
+func deepExpr(n int) *expr.Expr {
+	e := expr.Lit(0)
+	for i := 0; i < n; i++ {
+		e = expr.Add(e, expr.Mul(expr.Sym(fmt.Sprintf("x%d", i)), expr.Lit(float64(i%7))))
+	}
+	return e
+}
+
+func testRules() []Rewrite {
+	return []Rewrite{
+		MustRewrite("add-0-l", "(+ 0 ?a)", "?a"),
+		MustRewrite("mul-0-r", "(* ?a 0)", "0"),
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+		MustRewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+		MustRewrite("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+	}
+}
+
+// runWorkers saturates a fresh graph over deepExpr with the given worker
+// count and returns the report plus a canonical dump of the final graph.
+func runWorkers(t *testing.T, workers int, jr *Journal) (Report, string) {
+	t.Helper()
+	g := New()
+	g.AddExpr(deepExpr(48))
+	rep := Run(g, testRules(), Limits{
+		MaxIterations: 4,
+		MaxNodes:      20_000,
+		MatchWorkers:  workers,
+		Journal:       jr,
+	})
+	return rep, g.ToDot()
+}
+
+// TestParallelMatchDeterminism checks the tentpole contract: any worker
+// count produces the same iteration count, application counts, per-rule
+// attribution, and — via the dot dump — the same final e-graph as the
+// serial matcher.
+func TestParallelMatchDeterminism(t *testing.T) {
+	repSerial, dotSerial := runWorkers(t, 1, nil)
+	for _, workers := range []int{2, 4, 8} {
+		rep, dot := runWorkers(t, workers, nil)
+		if rep.Iterations != repSerial.Iterations || rep.Applied != repSerial.Applied ||
+			rep.Nodes != repSerial.Nodes || rep.Classes != repSerial.Classes ||
+			rep.Reason != repSerial.Reason {
+			t.Fatalf("workers=%d report diverged: %+v vs serial %+v", workers, rep, repSerial)
+		}
+		if !reflect.DeepEqual(rep.PerRule, repSerial.PerRule) {
+			t.Fatalf("workers=%d per-rule counts diverged:\n%v\nvs serial\n%v",
+				workers, rep.PerRule, repSerial.PerRule)
+		}
+		if dot != dotSerial {
+			t.Fatalf("workers=%d produced a different final e-graph", workers)
+		}
+	}
+}
+
+// TestParallelMatchGauges checks that the per-iteration gauges (the trace
+// the server and bench read) are identical at different worker counts,
+// modulo wall-time fields.
+func TestParallelMatchGauges(t *testing.T) {
+	repSerial, _ := runWorkers(t, 1, nil)
+	repPar, _ := runWorkers(t, 8, nil)
+	if len(repSerial.Iters) != len(repPar.Iters) {
+		t.Fatalf("iteration gauge counts differ: %d vs %d", len(repSerial.Iters), len(repPar.Iters))
+	}
+	for i := range repSerial.Iters {
+		a, b := repSerial.Iters[i], repPar.Iters[i]
+		a.Duration, b.Duration = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iteration %d gauges diverged:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestParallelMatchJournalCounts checks that the flight recorder's rule
+// attribution (matches, applications, new nodes) is identical at different
+// worker counts; only Duration fields may differ.
+func TestParallelMatchJournalCounts(t *testing.T) {
+	type key struct {
+		kind JournalEventKind
+		iter int
+		rule string
+	}
+	counts := func(jr *Journal) map[key][3]int {
+		out := map[key][3]int{}
+		for _, ev := range jr.Events() {
+			if ev.Kind != JournalRule {
+				continue
+			}
+			out[key{ev.Kind, ev.Iteration, ev.Rule}] = [3]int{ev.Matches, ev.Applied, ev.NewNodes}
+		}
+		return out
+	}
+	jrSerial := NewJournal(0)
+	runWorkers(t, 1, jrSerial)
+	jrPar := NewJournal(0)
+	runWorkers(t, 8, jrPar)
+	if jrSerial.Total() != jrPar.Total() {
+		t.Fatalf("journal event totals differ: %d vs %d", jrSerial.Total(), jrPar.Total())
+	}
+	if !reflect.DeepEqual(counts(jrSerial), counts(jrPar)) {
+		t.Fatalf("journal rule attribution diverged:\n%v\nvs\n%v", counts(jrSerial), counts(jrPar))
+	}
+}
+
+// TestCompressPathsMakesFindReadOnly verifies the invariant the parallel
+// matcher rests on: after CompressPaths every union-find chain has length
+// at most one, so Find returns without writing.
+func TestCompressPathsMakesFindReadOnly(t *testing.T) {
+	g := New()
+	ids := make([]ClassID, 20)
+	for i := range ids {
+		ids[i] = g.AddLeaf(expr.OpSym, 0, fmt.Sprintf("s%d", i), 0)
+	}
+	// Chain unions to build long paths.
+	for i := 1; i < len(ids); i++ {
+		g.Union(ids[i-1], ids[i])
+	}
+	g.Rebuild()
+	g.CompressPaths()
+	for i := range g.uf {
+		root := g.uf[i]
+		if g.uf[root] != root {
+			t.Fatalf("uf[%d]=%d is not a root after CompressPaths", i, root)
+		}
+	}
+	// All Finds must agree and must not alter the array.
+	before := append([]ClassID(nil), g.uf...)
+	want := g.Find(ids[0])
+	for _, id := range ids {
+		if got := g.Find(id); got != want {
+			t.Fatalf("Find(%d)=%d, want %d", id, got, want)
+		}
+	}
+	if !reflect.DeepEqual(before, g.uf) {
+		t.Fatal("Find mutated the union-find after CompressPaths")
+	}
+}
+
+// TestParallelSearchCancellation checks that a cancelled context stops the
+// parallel matcher and reports StopCancelled.
+func TestParallelSearchCancellation(t *testing.T) {
+	g := New()
+	g.AddExpr(deepExpr(64))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := RunContext(ctx, g, testRules(), Limits{MaxIterations: 6, MatchWorkers: 4})
+	if rep.Reason != StopCancelled {
+		t.Fatalf("reason = %s, want %s", rep.Reason, StopCancelled)
+	}
+}
+
+// TestMatchWorkersResolution covers the Limits.MatchWorkers defaulting.
+func TestMatchWorkersResolution(t *testing.T) {
+	if got := (Limits{}).matchWorkers(); got != DefaultMatchWorkers() {
+		t.Fatalf("zero MatchWorkers resolved to %d, want %d", got, DefaultMatchWorkers())
+	}
+	if got := (Limits{MatchWorkers: -3}).matchWorkers(); got != 1 {
+		t.Fatalf("negative MatchWorkers resolved to %d, want 1", got)
+	}
+	if got := (Limits{MatchWorkers: 5}).matchWorkers(); got != 5 {
+		t.Fatalf("MatchWorkers=5 resolved to %d", got)
+	}
+}

@@ -13,6 +13,12 @@ import (
 // and an applier that realizes a match. This mirrors egg's Searcher/Applier
 // split (paper §3.3): syntactic rules are built with NewRewrite, while the
 // vectorization rules use custom Go searchers.
+//
+// Search must treat the graph as read-only — all mutation belongs in Apply.
+// The runner relies on this to match rules concurrently (Limits.
+// MatchWorkers); a Search that adds nodes or unions classes would race.
+// Rewrites that additionally implement ShardedRewrite let the runner split
+// one rule's search across workers.
 type Rewrite interface {
 	Name() string
 	Search(g *EGraph) []Match
@@ -122,6 +128,26 @@ type Limits struct {
 	// best-cost trajectory per root. Other goroutines may read the journal
 	// while the run writes. Nil costs one branch per rule per iteration.
 	Journal *Journal
+	// MatchWorkers bounds the worker pool for the read-only match phase.
+	// 0 means DefaultMatchWorkers (one per CPU); 1 forces the serial
+	// matcher; higher values cap the pool. The setting never changes
+	// results: per-worker match buffers are merged in canonical (rule,
+	// e-class ID) order before the serial apply phase, so the extracted
+	// program, Report counts, and Journal rule attribution are identical
+	// at every worker count (rule search Durations, which attribute
+	// concurrent CPU time, are the one telemetry field that may differ).
+	MatchWorkers int
+}
+
+// matchWorkers resolves the effective match-phase pool size.
+func (l Limits) matchWorkers() int {
+	if l.MatchWorkers == 0 {
+		return DefaultMatchWorkers()
+	}
+	if l.MatchWorkers < 1 {
+		return 1
+	}
+	return l.MatchWorkers
 }
 
 // Report summarizes a saturation run (feeds the paper's Table 1).
@@ -232,6 +258,33 @@ loop:
 		}
 		ruleSkipped := false
 		all := make([]found, 0, len(rules))
+
+		// Parallel match phase: search every eligible rule over a sharded,
+		// read-only view of the graph before any matches are applied. The
+		// merged results are exactly what the serial branch below would
+		// produce (parallel.go), so the backoff and journal bookkeeping in
+		// the shared loop behaves identically on both paths.
+		var par []ruleMatches
+		if w := lim.matchWorkers(); w > 1 && g.NumClasses() >= matchParallelMinClasses {
+			eligible := make([]Rewrite, 0, len(rules))
+			for _, r := range rules {
+				if lim.Backoff != nil && lim.Backoff.banned(r.Name(), iter) {
+					continue
+				}
+				eligible = append(eligible, r)
+			}
+			var cancelled bool
+			if par, cancelled = searchParallel(ctx, g, eligible, w); cancelled {
+				reason, _ := ctxStop()
+				if reason == "" {
+					reason = StopCancelled
+				}
+				rep.Reason = reason
+				flushGauge()
+				break loop
+			}
+		}
+		k := 0 // cursor into par, advanced once per eligible rule
 		for _, r := range rules {
 			if jr != nil && lim.Backoff != nil {
 				// A rule whose ban expires exactly this iteration rejoins
@@ -245,14 +298,20 @@ loop:
 				ruleSkipped = true
 				continue
 			}
-			var searchStart time.Time
-			if jr != nil {
-				searchStart = time.Now()
-			}
-			ms := r.Search(g)
+			var ms []Match
 			var searchDur time.Duration
-			if jr != nil {
-				searchDur = time.Since(searchStart)
+			if par != nil {
+				ms, searchDur = par[k].matches, par[k].searchDur
+				k++
+			} else {
+				var searchStart time.Time
+				if jr != nil {
+					searchStart = time.Now()
+				}
+				ms = r.Search(g)
+				if jr != nil {
+					searchDur = time.Since(searchStart)
+				}
 			}
 			if lim.Backoff != nil && lim.Backoff.record(r.Name(), len(ms), iter) {
 				if jr != nil {
@@ -269,12 +328,16 @@ loop:
 				gauge.Matches += len(ms)
 				gauge.PerRuleMatches[r.Name()] += len(ms)
 			}
-			if reason, stop := ctxStop(); stop {
-				// Searching can be the expensive phase for custom
-				// searchers; honor cancellation between rules.
-				rep.Reason = reason
-				flushGauge()
-				break loop
+			if par == nil {
+				if reason, stop := ctxStop(); stop {
+					// Searching can be the expensive phase for custom
+					// searchers; honor cancellation between rules. (The
+					// parallel matcher polls the context inside its worker
+					// pool instead.)
+					rep.Reason = reason
+					flushGauge()
+					break loop
+				}
 			}
 		}
 

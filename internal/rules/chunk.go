@@ -20,8 +20,14 @@ type chunkMatch struct {
 }
 
 func (r chunkRule) Search(g *egraph.EGraph) []egraph.Match {
+	return r.SearchClasses(g, g.CanonicalClasses())
+}
+
+// SearchClasses restricts the search to the given classes (read-only), so
+// the runner can shard List matching across workers.
+func (r chunkRule) SearchClasses(g *egraph.EGraph, classes []*egraph.EClass) []egraph.Match {
 	var out []egraph.Match
-	g.Classes(func(cls *egraph.EClass) {
+	for _, cls := range classes {
 		for _, n := range cls.Nodes {
 			if n.Op == expr.OpList {
 				out = append(out, egraph.Match{
@@ -30,7 +36,7 @@ func (r chunkRule) Search(g *egraph.EGraph) []egraph.Match {
 				})
 			}
 		}
-	})
+	}
 	return out
 }
 

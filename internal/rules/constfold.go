@@ -30,13 +30,19 @@ func classLit(g *egraph.EGraph, id egraph.ClassID) (float64, bool) {
 	return 0, false
 }
 
-func (constFoldRule) Search(g *egraph.EGraph) []egraph.Match {
+func (r constFoldRule) Search(g *egraph.EGraph) []egraph.Match {
+	return r.SearchClasses(g, g.CanonicalClasses())
+}
+
+// SearchClasses restricts the search to the given classes (read-only), so
+// the runner can shard constant folding across workers.
+func (constFoldRule) SearchClasses(g *egraph.EGraph, classes []*egraph.EClass) []egraph.Match {
 	var out []egraph.Match
-	g.Classes(func(cls *egraph.EClass) {
+	for _, cls := range classes {
 		// One folding per class is enough: all its nodes are equal, so a
 		// class that already holds a literal needs no further folding.
 		if _, already := classLit(g, cls.ID); already {
-			return
+			continue
 		}
 		for _, n := range cls.Nodes {
 			v, ok := foldNode(g, n)
@@ -46,7 +52,7 @@ func (constFoldRule) Search(g *egraph.EGraph) []egraph.Match {
 			out = append(out, egraph.Match{Class: cls.ID, Data: foldMatch{value: v}})
 			break
 		}
-	})
+	}
 	return out
 }
 

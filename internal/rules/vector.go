@@ -80,9 +80,15 @@ var laneOps = []struct {
 }
 
 func (r vectorizeRule) Search(g *egraph.EGraph) []egraph.Match {
+	return r.SearchClasses(g, g.CanonicalClasses())
+}
+
+// SearchClasses restricts the search to the given classes (read-only), so
+// the runner can shard lane-wise matching across workers.
+func (r vectorizeRule) SearchClasses(g *egraph.EGraph, classes []*egraph.EClass) []egraph.Match {
 	var out []egraph.Match
 	maxAlts, maxCombos := r.cfg.laneAlts(), r.cfg.combos()
-	g.Classes(func(cls *egraph.EClass) {
+	for _, cls := range classes {
 		for _, vecNode := range cls.Nodes {
 			if vecNode.Op != expr.OpVec || len(vecNode.Args) != r.cfg.Width {
 				continue
@@ -101,7 +107,7 @@ func (r vectorizeRule) Search(g *egraph.EGraph) []egraph.Match {
 			}
 			out = append(out, r.searchFunc(g, cls.ID, vecNode, maxAlts, maxCombos)...)
 		}
-	})
+	}
 	return out
 }
 
@@ -259,9 +265,15 @@ func newMACRule(cfg Config) egraph.Rewrite { return macRule{cfg: cfg} }
 func (macRule) Name() string { return "vec-mac" }
 
 func (r macRule) Search(g *egraph.EGraph) []egraph.Match {
+	return r.SearchClasses(g, g.CanonicalClasses())
+}
+
+// SearchClasses restricts the search to the given classes (read-only), so
+// the runner can shard MAC matching across workers.
+func (r macRule) SearchClasses(g *egraph.EGraph, classes []*egraph.EClass) []egraph.Match {
 	var out []egraph.Match
 	maxAlts, maxCombos := r.cfg.laneAlts(), r.cfg.combos()
-	g.Classes(func(cls *egraph.EClass) {
+	for _, cls := range classes {
 		for _, vecNode := range cls.Nodes {
 			if vecNode.Op != expr.OpVec || len(vecNode.Args) != r.cfg.Width {
 				continue
@@ -277,7 +289,7 @@ func (r macRule) Search(g *egraph.EGraph) []egraph.Match {
 				})
 			}
 		}
-	})
+	}
 	return out
 }
 

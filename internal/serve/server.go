@@ -16,7 +16,12 @@
 //   - GET /healthz and /readyz: liveness and readiness probes;
 //   - a saturation watchdog per request (watchdog.go) sampling the running
 //     e-graph's gauges and aborting compiles that blow a node or
-//     wall-clock budget.
+//     wall-clock budget;
+//   - a content-addressed compile cache (cache.go): repeat requests with
+//     identical normalized source and output-affecting options are served
+//     from a byte-budgeted LRU, concurrent identical requests coalesce
+//     into one compile, and the X-Dios-Cache response header reports the
+//     outcome (hit, miss, coalesced).
 package serve
 
 import (
@@ -65,6 +70,12 @@ type Config struct {
 	// TraceLog bounds how many completed request traces the server retains
 	// for GET /traces (traces.go). 0 means 64; negative disables retention.
 	TraceLog int
+	// CacheBytes budgets the content-addressed compile cache (cache.go):
+	// repeat POST /compile requests with identical normalized source and
+	// output-affecting options are served from memory, and concurrent
+	// identical requests are coalesced into one compile. 0 means 64 MiB;
+	// negative disables the cache.
+	CacheBytes int64
 	// Options is the base compile configuration; per-request fields
 	// (timeout, ablations, validation) may override it.
 	Options diospyros.Options
@@ -82,6 +93,7 @@ type Server struct {
 	reg    *telemetry.Registry
 	slots  chan struct{}
 	traces *traceRing
+	cache  *compileCache // nil when Config.CacheBytes < 0
 
 	queued   atomic.Int64
 	inFlight atomic.Int64
@@ -119,6 +131,9 @@ func New(cfg Config) *Server {
 	if cfg.TraceLog == 0 {
 		cfg.TraceLog = 64
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = telemetry.NewLogger(io.Discard, slog.LevelError, false)
@@ -137,6 +152,9 @@ func New(cfg Config) *Server {
 		slots:     make(chan struct{}, cfg.Workers),
 		traces:    newTraceRing(cfg.TraceLog),
 		compileFn: diospyros.CompileSourceContext,
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newCompileCache(cfg.CacheBytes)
 	}
 	s.ready.Store(true)
 	s.reg.GaugeSet("diospyros_serve_workers", "Configured worker slots.", nil, float64(cfg.Workers))
@@ -277,6 +295,50 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Content-addressed compile cache (cache.go): a hit or a coalesced
+	// result answers before admission, without taking a worker slot. A miss
+	// makes this request the flight's leader; the deferred finish publishes
+	// its result — or, on failure, releases the followers to compile for
+	// themselves.
+	var (
+		flight    *cacheFlight
+		flightKey string
+		flightRes *diospyros.Result
+	)
+	if s.cache != nil && !wantsStream(r) && cacheableRequest(opts) {
+		flightKey = compileCacheKey(src, opts)
+		res, fl, state := s.cache.acquire(flightKey)
+		switch state {
+		case cacheHit:
+			s.serveCached(w, r, id, res, "hit")
+			return
+		case cacheFollower:
+			if res := fl.wait(ctx); res != nil {
+				s.serveCached(w, r, id, res, "coalesced")
+				return
+			}
+			if ctx.Err() != nil {
+				s.countCancelled("coalesced")
+				s.writeError(w, httpStatusClientClosedRequest, id, "client went away while awaiting a coalesced compile")
+				return
+			}
+			// The leader failed; fall through and compile independently.
+		case cacheLeader:
+			flight = fl
+			defer func() {
+				evicted := s.cache.finish(flightKey, flight, flightRes)
+				if evicted > 0 {
+					s.cacheCount("evictions", float64(evicted))
+				}
+				s.reg.GaugeSet("diospyros_serve_cache_bytes",
+					"Estimated bytes held by the compile cache.", nil,
+					float64(s.cache.sizeBytes()))
+			}()
+		}
+		w.Header().Set("X-Dios-Cache", "miss")
+		s.cacheCount("misses", 1)
+	}
+
 	// Admission: take a free worker slot if one is available, otherwise
 	// queue up to QueueDepth waiters and shed the rest with 503, watching
 	// for the client to give up while queued.
@@ -350,8 +412,35 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, code, resp)
 		return
 	}
+	flightRes = res // publish to the cache and any coalesced followers
 	resp := s.successResponse(r, id, res)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// serveCached answers a compile request from a cached Result, marking the
+// response with how the cache resolved it ("hit" or "coalesced"). Cached
+// responses skip trace aggregation — the pipeline did not run.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, id string, res *diospyros.Result, how string) {
+	w.Header().Set("X-Dios-Cache", how)
+	if how == "hit" {
+		s.cacheCount("hits", 1)
+	} else {
+		s.cacheCount("coalesced", 1)
+	}
+	telemetry.LoggerFrom(r.Context()).Info("compile served from cache",
+		"kernel", res.Kernel.Name, "cache", how)
+	s.writeJSON(w, http.StatusOK, s.successResponse(r, id, res))
+}
+
+// cacheCount bumps one of the diospyros_serve_cache_*_total counters.
+func (s *Server) cacheCount(kind string, n float64) {
+	help := map[string]string{
+		"hits":      "Compiles served from the content-addressed cache.",
+		"misses":    "Compiles that had to run because no cache entry matched.",
+		"coalesced": "Compiles served by waiting on an identical in-flight request.",
+		"evictions": "Cache entries evicted to respect the byte budget.",
+	}[kind]
+	s.reg.CounterAdd("diospyros_serve_cache_"+kind+"_total", help, nil, n)
 }
 
 // successResponse assembles the reply for a completed compile and logs it.

@@ -70,7 +70,9 @@ func scrape(t *testing.T, url string) string {
 // core: concurrent compiles succeed, and the /metrics gauges and
 // histograms move as requests flow through.
 func TestCompileAndMetricsChangeAcrossRequests(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	// The cache is off so both identical compiles really run; cache.go's
+	// coalescing behavior has its own tests in cache_test.go.
+	_, ts := newTestServer(t, Config{Workers: 2, CacheBytes: -1})
 
 	before := scrape(t, ts.URL)
 	if strings.Contains(before, "diospyros_serve_requests_total") &&
@@ -246,8 +248,10 @@ func TestClientCancellationReleasesWorkerSlot(t *testing.T) {
 // TestQueueFullSheds fills the single worker and the zero-depth queue,
 // then expects 503 + Retry-After for the overflow request.
 func TestQueueFullSheds(t *testing.T) {
+	// The cache is off: with it on, the identical second request would
+	// coalesce onto the in-flight compile instead of reaching admission.
 	entered := make(chan struct{}, 1)
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1, CacheBytes: -1})
 	s.compileFn = blockingCompileFn(entered)
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -36,7 +36,9 @@ func getTraces(t *testing.T, url string) (*http.Response, []map[string]any) {
 // trace file with a distinct thread lane per request ID under a single
 // server process.
 func TestTracesEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	// The cache is off so the second identical compile really runs and
+	// lands in the ring; cached responses deliberately skip it.
+	_, ts := newTestServer(t, Config{Workers: 2, CacheBytes: -1})
 
 	var ids []string
 	for i := 0; i < 2; i++ {

@@ -268,4 +268,5 @@ type AbortError struct {
 	Reason string
 }
 
+// Error renders the abort with its reason token.
 func (e *AbortError) Error() string { return "saturation aborted: " + e.Reason }

@@ -96,14 +96,28 @@ func (t *Trace) StageDuration(name string) time.Duration {
 	return s.Duration
 }
 
-// StagesTotal sums all stage durations. It is at most Duration; the gap is
-// inter-stage bookkeeping.
+// StagesTotal returns the wall time covered by at least one stage span:
+// the union of the span intervals, not their sum, so spans recorded by
+// concurrent goroutines (which overlap in time) are not double-counted.
+// It is at most Duration; the gap is time no stage was running.
 func (t *Trace) StagesTotal() time.Duration {
-	var sum time.Duration
+	type interval struct{ start, end time.Duration }
+	ivs := make([]interval, 0, len(t.Stages))
 	for _, s := range t.Stages {
-		sum += s.Duration
+		ivs = append(ivs, interval{s.Start, s.Start + s.Duration})
 	}
-	return sum
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	var total time.Duration
+	for i := 0; i < len(ivs); {
+		start, end := ivs[i].start, ivs[i].end
+		for i++; i < len(ivs) && ivs[i].start <= end; i++ {
+			if ivs[i].end > end {
+				end = ivs[i].end
+			}
+		}
+		total += end - start
+	}
+	return total
 }
 
 // Counter returns a named counter value (0 if absent).

