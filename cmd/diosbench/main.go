@@ -34,6 +34,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,7 @@ func main() {
 		costAbl    = flag.Bool("cost-ablation", false, "cost-model design-choice ablation")
 		theiaCase  = flag.Bool("theia", false, "§5.7 Theia case study")
 		validate   = flag.Bool("validate", false, "translation validation of the suite")
+		targets    = flag.String("targets", "", "comma-separated machine targets (e.g. fg3lite-4,fg3lite-8,scalar): compile the suite once per kernel, extract per target, and print a per-kernel cycle table")
 		only       = flag.String("only", "", "restrict suite experiments to kernels whose ID contains any comma-separated substring")
 		verbose    = flag.Bool("v", false, "per-kernel progress (structured log lines on stderr)")
 		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (debug logs every pipeline stage)")
@@ -75,7 +77,8 @@ func main() {
 
 	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile || *compare != ""
 	if !(*all || *table1 || *figure5 || *figure6 || *motivating || *expertCmp ||
-		*ablation || *costAbl || *theiaCase || *validate || *matchSweep || exporting) {
+		*ablation || *costAbl || *theiaCase || *validate || *matchSweep ||
+		*targets != "" || exporting) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -231,6 +234,22 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(bench.FormatTheia(res))
+	}
+	if *targets != "" {
+		var names []string
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				names = append(names, t)
+			}
+		}
+		fmt.Printf("== per-target cycles: one search, %d extractions per kernel ==\n", len(names))
+		rows, err := bench.TargetTable(bench.TTOptions{
+			Opts: opts, Targets: names, Only: *only, Progress: progress, Context: ctx,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTargetTable(rows))
 	}
 	if *all || *validate {
 		fmt.Println("== translation validation (§3.4) ==")

@@ -20,6 +20,9 @@
 //	diospyros -metrics-out m.prom …      # Prometheus text-format metrics
 //	diospyros -report r.html …           # self-contained HTML flight report
 //	diospyros -ac -backoff …             # AC rules under the backoff scheduler
+//	diospyros -targets fg3lite-4,fg3lite-8,scalar kernel.dios
+//	                                     # one search, one extraction per target,
+//	                                     # with a per-target cost/cycle table
 //
 // The compile runs under a context cancelled by SIGINT/SIGTERM, so an
 // interrupted equality saturation stops within one iteration.
@@ -34,7 +37,9 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	diospyros "diospyros"
@@ -60,6 +65,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "equality saturation timeout (default 180s)")
 		nodeLimit = flag.Int("node-limit", 0, "e-graph node limit (default 10,000,000)")
 		matchWork = flag.Int("match-workers", 0, "parallel e-matching workers (default: one per CPU; 1 forces the serial matcher; results are identical at any setting)")
+		targets   = flag.String("targets", "", "comma-separated machine targets (e.g. fg3lite-4,fg3lite-8,scalar): one saturation search, one extraction per target; the first is primary")
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
 		trace     = flag.Bool("trace", false, "print the per-stage pipeline trace to stderr")
 		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (debug logs every pipeline stage)")
@@ -129,6 +135,13 @@ func main() {
 		Validate:           *validate,
 		Explain:            *explain,
 	}
+	if *targets != "" {
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				opts.Targets = append(opts.Targets, t)
+			}
+		}
+	}
 	if *reportOut != "" {
 		// The HTML report renders the flight-recorder sections, so a
 		// report compile always runs with the journal on.
@@ -139,6 +152,26 @@ func main() {
 		fatal(err)
 	}
 
+	if len(res.Targets) > 1 {
+		// Multi-target compile: one saturation search, N extractions. The
+		// summary table compares the machines; stdout still carries the
+		// primary target's C.
+		tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "target\twidth\tcost\tvir\tasm\tcycles")
+		for _, tr := range res.Targets {
+			asm := "-"
+			if tr.Program != nil {
+				asm = fmt.Sprintf("%d", len(tr.Program.Instrs))
+			}
+			cyc := "-"
+			if tr.Cycles > 0 {
+				cyc = fmt.Sprintf("%d", tr.Cycles)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%d\t%s\t%s\n",
+				tr.Target, tr.Width, tr.Cost, len(tr.VIR.Instrs), asm, cyc)
+		}
+		tw.Flush()
+	}
 	if *trace {
 		fmt.Fprint(os.Stderr, res.Trace.Format())
 	}
@@ -218,7 +251,7 @@ func main() {
 		fmt.Print(res.VIR.String())
 	case *dumpAsm:
 		if res.Program == nil {
-			fatal(fmt.Errorf("no FG3-lite program (unsupported width)"))
+			fatal(fmt.Errorf("primary target has no assembly backend"))
 		}
 		fmt.Print(res.Program.Disassemble())
 	case *doRun:

@@ -42,10 +42,22 @@ import (
 // 10M-node limit (the paper's §5.2 settings), vector rules enabled, full
 // associativity/commutativity disabled.
 type Options struct {
-	// Width is the target vector width. FG3-lite assembly can only be
-	// produced for Width == isa.Width (4); other widths still compile to
-	// IR and C. 0 means 4.
+	// Width is the legacy way to pick a vector width. 0 means the default
+	// target's width (4). Nonzero widths resolve to the matching registered
+	// target ("fg3lite-<w>", or "scalar" for width 1). Ignored when Target
+	// or Targets is set.
 	Width int
+	// Target names a single machine target from the isa registry
+	// ("fg3lite-4", "fg3lite-8", "scalar", or any width via "fg3lite-<w>").
+	// Empty means the Width-derived default. Ignored when Targets is set.
+	Target string
+	// Targets requests multi-target compilation: one equality-saturation
+	// search whose e-graph holds decompositions for every requested vector
+	// width simultaneously, then one extraction per target under that
+	// target's cost model. Result.Targets carries the per-target programs
+	// (and simulated cycle counts when more than one target is requested).
+	// The first entry is the primary target that fills Result.Program/C.
+	Targets []string
 	// Timeout bounds equality saturation wall-clock time. 0 means 180 s.
 	// Negative means no timeout.
 	Timeout time.Duration
@@ -133,13 +145,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is a compiled kernel and its artifacts.
+// TargetResult is one machine target's slice of a compilation: the program
+// extracted from the shared saturated e-graph under that target's cost
+// model, lowered and code-generated for that target's width.
+type TargetResult struct {
+	Target    string       // registry name (isa.Target.Name)
+	Width     int          // vector lanes (1 for scalar)
+	Optimized *expr.Expr   // extracted DSL program for this target
+	VIR       *vir.Program // optimized low-level IR at this target's width
+	Program   *isa.Program // assembly (nil when the target has no backend)
+	C         string       // C-with-intrinsics text
+	Cost      float64      // abstract extraction cost under this target's model
+	Cycles    int64        // simulated cycles on deterministic inputs (0 if not simulated)
+	Validated bool         // set when Options.Validate passed for this target
+}
+
+// Result is a compiled kernel and its artifacts. The top-level Optimized /
+// VIR / Program / C fields describe the primary (first requested) target;
+// Targets holds every requested target, in request order.
 type Result struct {
 	Kernel    *kernel.Lifted // the lifted specification
-	Optimized *expr.Expr     // extracted DSL program
-	VIR       *vir.Program   // optimized low-level IR
-	Program   *isa.Program   // FG3-lite assembly (nil when Width != isa.Width)
-	C         string         // C-with-intrinsics text
+	Optimized *expr.Expr     // extracted DSL program (primary target)
+	VIR       *vir.Program   // optimized low-level IR (primary target)
+	Program   *isa.Program   // assembly (nil when the primary target has no backend)
+	C         string         // C-with-intrinsics text (primary target)
+	Targets   []TargetResult // per-target artifacts, request order
 
 	Saturation egraph.Report    // equality-saturation statistics (Table 1)
 	Trace      *telemetry.Trace // per-stage spans and per-iteration gauges
@@ -193,6 +223,11 @@ func CompileContext(ctx context.Context, l *kernel.Lifted, opts Options) (*Resul
 // callers — the serve layer in particular — can report and aggregate
 // telemetry for failed and aborted compiles too.
 func compile(ctx context.Context, st *compileState) (*Result, error) {
+	targets, err := resolveTargets(st.opts)
+	if err != nil {
+		return nil, fmt.Errorf("diospyros: %w", err)
+	}
+	st.targets = targets
 	rec := telemetry.NewRecorder()
 	runErr := compilePipeline().Run(ctx, st, rec)
 	rec.SetIterations(st.report.Iters)
@@ -244,6 +279,7 @@ func compile(ctx context.Context, st *compileState) (*Result, error) {
 		VIR:        st.ir,
 		Program:    st.program,
 		C:          st.cText,
+		Targets:    st.perTarget,
 		Saturation: st.report,
 		Trace:      trace,
 		Cost:       st.extractor.Cost(st.root),
@@ -253,10 +289,84 @@ func compile(ctx context.Context, st *compileState) (*Result, error) {
 	}, nil
 }
 
-// Run executes the compiled kernel on the FG3-lite simulator.
+// resolveTargets materializes the requested target list from the options,
+// in request order, deduplicated by name. Precedence: Targets, then Target,
+// then the legacy Width (width 1 meaning the scalar target).
+func resolveTargets(opts Options) ([]*isa.Target, error) {
+	names := opts.Targets
+	if len(names) == 0 && opts.Target != "" {
+		names = []string{opts.Target}
+	}
+	if len(names) == 0 {
+		switch {
+		case opts.Width == isa.Width:
+			return []*isa.Target{isa.Default()}, nil
+		case opts.Width == 1:
+			names = []string{"scalar"}
+		default:
+			names = []string{fmt.Sprintf("fg3lite-%d", opts.Width)}
+		}
+	}
+	seen := map[string]bool{}
+	out := make([]*isa.Target, 0, len(names))
+	for _, name := range names {
+		t, err := isa.LookupTarget(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[t.Name] {
+			continue
+		}
+		seen[t.Name] = true
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no targets requested")
+	}
+	return out, nil
+}
+
+// ErrNoBackend reports that a compilation produced no runnable assembly for
+// the requested target (a target registered with HasAssembly false). Match
+// it with errors.Is; the concrete *NoBackendError names the target.
+var ErrNoBackend = errors.New("diospyros: no assembly backend")
+
+// NoBackendError is the concrete error behind ErrNoBackend.
+type NoBackendError struct {
+	Target string // registry name of the backend-less target
+}
+
+// Error names the backend-less target.
+func (e *NoBackendError) Error() string {
+	return fmt.Sprintf("diospyros: target %s has no assembly backend", e.Target)
+}
+
+// Unwrap makes errors.Is(err, ErrNoBackend) succeed.
+func (e *NoBackendError) Unwrap() error { return ErrNoBackend }
+
+// Run executes the primary target's compiled program on the simulator.
 func (r *Result) Run(inputs map[string][]float64, funcs map[string]func([]float64) float64) (map[string][]float64, *sim.Result, error) {
 	if r.Program == nil {
-		return nil, nil, fmt.Errorf("diospyros: no FG3-lite program (width %d != %d)", r.VIR.Width, isa.Width)
+		name := isa.Default().Name
+		if len(r.Targets) > 0 {
+			name = r.Targets[0].Target
+		}
+		return nil, nil, &NoBackendError{Target: name}
 	}
 	return codegenExecute(r.Program, inputs, r.Kernel.Inputs, r.Kernel.Outputs, funcs)
+}
+
+// RunTarget executes the named target's compiled program on the simulator.
+func (r *Result) RunTarget(target string, inputs map[string][]float64, funcs map[string]func([]float64) float64) (map[string][]float64, *sim.Result, error) {
+	for i := range r.Targets {
+		tr := &r.Targets[i]
+		if tr.Target != target {
+			continue
+		}
+		if tr.Program == nil {
+			return nil, nil, &NoBackendError{Target: target}
+		}
+		return codegenExecute(tr.Program, inputs, r.Kernel.Inputs, r.Kernel.Outputs, funcs)
+	}
+	return nil, nil, fmt.Errorf("diospyros: result has no target %q", target)
 }

@@ -1,6 +1,8 @@
 package diospyros
 
 import (
+	"math/rand"
+
 	"diospyros/internal/codegen"
 	"diospyros/internal/expr"
 	"diospyros/internal/isa"
@@ -18,7 +20,25 @@ func validateCheck(l *kernel.Lifted, optimized *expr.Expr) error {
 
 func codegenC(ir *vir.Program) string { return codegen.ToC(ir) }
 
-func codegenISA(ir *vir.Program) (*isa.Program, error) { return codegen.ToISA(ir) }
+func codegenISA(ir *vir.Program, t *isa.Target) (*isa.Program, error) {
+	return codegen.ToISA(ir, t)
+}
+
+// deterministicInputs fills every kernel input with reproducible random
+// tenths in [-10, 10) — the same distribution the CLI's -run harness uses —
+// so per-target cycle counts from stageSimulate are comparable across runs.
+func deterministicInputs(l *kernel.Lifted, seed int64) map[string][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	inputs := map[string][]float64{}
+	for _, d := range l.Inputs {
+		s := make([]float64, d.Len())
+		for i := range s {
+			s[i] = float64(int(r.Float64()*200-100)) / 10
+		}
+		inputs[d.Name] = s
+	}
+	return inputs
+}
 
 func codegenExecute(p *isa.Program, inputs map[string][]float64,
 	in, out []kernel.ArrayDecl,

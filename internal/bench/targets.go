@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	diospyros "diospyros"
+	"diospyros/internal/expr"
+)
+
+// This file is the per-kernel × per-target comparison: every suite kernel
+// is compiled once (one saturation search) for several machine targets at
+// once, each target's program is simulated, and its outputs are checked
+// against the lifted specification. It both powers `diosbench -targets`
+// and serves as the cross-width semantic parity harness.
+
+// TTOptions parameterizes a TargetTable run.
+type TTOptions struct {
+	// Opts are the Diospyros compiler options; Opts.Targets is overwritten
+	// with Targets below.
+	Opts diospyros.Options
+	// Targets are the machine targets to compare (e.g. "fg3lite-4",
+	// "fg3lite-8", "scalar"). At least one is required.
+	Targets []string
+	// Seed for the shared random inputs.
+	Seed int64
+	// Only restricts the run to kernels whose ID contains any of the
+	// comma-separated substrings.
+	Only string
+	// Progress receives per-kernel progress lines (may be nil).
+	Progress func(string)
+	// Context cancels the run between kernel compiles. Nil means
+	// context.Background().
+	Context context.Context
+}
+
+func (o TTOptions) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
+}
+
+// TargetRow is one kernel's per-target comparison: Cycles[i] and Costs[i]
+// belong to Targets[i] of the run.
+type TargetRow struct {
+	Kernel  Kernel
+	Targets []string
+	Cycles  []int64
+	Costs   []float64
+}
+
+// Best returns the index of the fastest target for this kernel (fewest
+// simulated cycles; ties go to the earlier target), or -1 if no target
+// simulated.
+func (r TargetRow) Best() int {
+	best := -1
+	for i, c := range r.Cycles {
+		if c > 0 && (best == -1 || c < r.Cycles[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// TargetTable compiles every suite kernel once per the multi-target path —
+// a single saturation search, one extraction per target — simulates each
+// target's program on shared random inputs, and verifies every target's
+// outputs against the lifted specification.
+func TargetTable(opt TTOptions) ([]TargetRow, error) {
+	if len(opt.Targets) == 0 {
+		return nil, fmt.Errorf("bench: no targets")
+	}
+	var rows []TargetRow
+	for _, k := range Suite() {
+		if !matchOnly(opt.Only, k.ID) {
+			continue
+		}
+		row, err := runKernelAllTargets(k, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.ID, err)
+		}
+		rows = append(rows, row)
+		if opt.Progress != nil {
+			var parts []string
+			for i, name := range row.Targets {
+				parts = append(parts, fmt.Sprintf("%s=%d", name, row.Cycles[i]))
+			}
+			opt.Progress(fmt.Sprintf("%-20s %s", k.ID, strings.Join(parts, " ")))
+		}
+	}
+	return rows, nil
+}
+
+func runKernelAllTargets(k Kernel, opt TTOptions) (TargetRow, error) {
+	r := rand.New(rand.NewSource(opt.Seed + 7))
+	inputs := k.Inputs(r)
+	lifted := k.Lift()
+
+	env := expr.NewEnv()
+	for name, data := range inputs {
+		env.Arrays[name] = data
+	}
+	specVal, err := lifted.Spec.Eval(env)
+	if err != nil {
+		return TargetRow{}, fmt.Errorf("spec eval: %w", err)
+	}
+	want := map[string][]float64{}
+	flat := specVal.AsSlice()
+	idx := 0
+	for _, d := range lifted.Outputs {
+		want[d.Name] = flat[idx : idx+d.Len()]
+		idx += d.Len()
+	}
+
+	opts := opt.Opts
+	opts.Targets = opt.Targets
+	res, err := diospyros.CompileContext(opt.ctx(), lifted, opts)
+	if err != nil {
+		return TargetRow{}, fmt.Errorf("diospyros: %w", err)
+	}
+	if len(res.Targets) != len(opt.Targets) {
+		return TargetRow{}, fmt.Errorf("got %d target results, want %d", len(res.Targets), len(opt.Targets))
+	}
+
+	row := TargetRow{
+		Kernel:  k,
+		Targets: append([]string(nil), opt.Targets...),
+		Cycles:  make([]int64, len(opt.Targets)),
+		Costs:   make([]float64, len(opt.Targets)),
+	}
+	for i, tr := range res.Targets {
+		row.Costs[i] = tr.Cost
+		got, sres, err := res.RunTarget(tr.Target, inputs, nil)
+		if err != nil {
+			return TargetRow{}, fmt.Errorf("%s run: %w", tr.Target, err)
+		}
+		for name, w := range want {
+			g, ok := got[name]
+			if !ok {
+				return TargetRow{}, fmt.Errorf("%s: missing output %q", tr.Target, name)
+			}
+			for j := range w {
+				if math.Abs(g[j]-w[j]) > 1e-4*math.Max(1, math.Abs(w[j])) {
+					return TargetRow{}, fmt.Errorf("%s: output %s[%d] = %g, want %g",
+						tr.Target, name, j, g[j], w[j])
+				}
+			}
+		}
+		row.Cycles[i] = sres.Cycles
+	}
+	return row, nil
+}
+
+// FormatTargetTable renders the per-kernel × per-target cycle table, with
+// each kernel's winning target in the final column.
+func FormatTargetTable(rows []TargetRow) string {
+	if len(rows) == 0 {
+		return "(no kernels)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "kernel")
+	for _, name := range rows[0].Targets {
+		fmt.Fprintf(&b, " %12s", name)
+	}
+	fmt.Fprintf(&b, "  %s\n", "best")
+	wins := make([]int, len(rows[0].Targets))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s", r.Kernel.ID)
+		for _, c := range r.Cycles {
+			fmt.Fprintf(&b, " %12d", c)
+		}
+		if best := r.Best(); best >= 0 {
+			wins[best]++
+			fmt.Fprintf(&b, "  %s", r.Targets[best])
+		}
+		fmt.Fprintln(&b)
+	}
+	var parts []string
+	for i, name := range rows[0].Targets {
+		parts = append(parts, fmt.Sprintf("%s %d", name, wins[i]))
+	}
+	fmt.Fprintf(&b, "wins: %s\n", strings.Join(parts, ", "))
+	return b.String()
+}

@@ -29,13 +29,20 @@ func BuildLayout(width int, inputs, outputs []kernel.ArrayDecl) *isa.Layout {
 	return lay
 }
 
-// ToISA compiles a straight-line IR program to FG3-lite.
-func ToISA(p *vir.Program) (*isa.Program, error) {
-	if p.Width != isa.Width {
-		return nil, fmt.Errorf("codegen: IR width %d does not match FG3-lite width %d", p.Width, isa.Width)
+// ToISA compiles a straight-line IR program to FG3-lite assembly for the
+// given target machine. A nil target means the default (fg3lite-4). The IR's
+// width must match the target's: the emitted program carries the target so
+// the simulator sizes vector registers and latencies from it.
+func ToISA(p *vir.Program, t *isa.Target) (*isa.Program, error) {
+	if t == nil {
+		t = isa.Default()
+	}
+	if p.Width != t.Width {
+		return nil, fmt.Errorf("codegen: IR width %d does not match target %s width %d", p.Width, t, t.Width)
 	}
 	lay := BuildLayout(p.Width, p.Inputs, p.Outputs)
 	b := isa.NewBuilder(p.Name, lay)
+	b.SetTarget(t)
 
 	// One address register per array.
 	bases := map[string]int{}

@@ -30,7 +30,7 @@ func buildVecAdd() *vir.Program {
 
 func TestToISAMatchesVIRInterp(t *testing.T) {
 	p := buildVecAdd()
-	prog, err := ToISA(p)
+	prog, err := ToISA(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestMacRegisterReuse(t *testing.T) {
 		if accLiveAfter {
 			p.Emit(vir.Instr{Op: vir.StoreV, Args: []vir.ID{la}, Array: "c", Off: 4})
 		}
-		prog, err := ToISA(p)
+		prog, err := ToISA(p, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,14 +84,20 @@ func TestMacRegisterReuse(t *testing.T) {
 
 func TestToISARejectsWrongWidth(t *testing.T) {
 	p := vir.NewProgram("w2", 2, decls([]string{"a"}, 2), decls([]string{"c"}, 2))
-	if _, err := ToISA(p); err == nil {
-		t.Fatal("width-2 program accepted for a width-4 target")
+	if _, err := ToISA(p, nil); err == nil {
+		t.Fatal("width-2 program accepted for the default width-4 target")
+	}
+	if _, err := ToISA(p, isa.NewFG3Lite(8)); err == nil {
+		t.Fatal("width-2 program accepted for a width-8 target")
+	}
+	if _, err := ToISA(p, isa.NewFG3Lite(2)); err != nil {
+		t.Fatalf("width-2 program rejected for a width-2 target: %v", err)
 	}
 }
 
 func TestExecuteValidatesInputs(t *testing.T) {
 	p := buildVecAdd()
-	prog, err := ToISA(p)
+	prog, err := ToISA(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +161,7 @@ func TestRegisterPressureRealistic(t *testing.T) {
 		acc = p.Emit(vir.Instr{Op: vir.MacV, Args: []vir.ID{acc, la, sh}})
 	}
 	p.Emit(vir.Instr{Op: vir.StoreV, Args: []vir.ID{acc}, Array: "c", Off: 0})
-	prog, err := ToISA(p)
+	prog, err := ToISA(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

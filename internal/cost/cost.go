@@ -11,8 +11,11 @@
 package cost
 
 import (
+	"math"
+
 	"diospyros/internal/egraph"
 	"diospyros/internal/expr"
+	"diospyros/internal/isa"
 )
 
 // ChildInfo describes the currently chosen best implementation of a child
@@ -98,9 +101,27 @@ func ClassifyVec(children []ChildInfo) (MovementClass, int) {
 // Diospyros is the default cost model, with weights chosen so that a fully
 // vectorized kernel with cheap shuffles beats its scalar form, while heavy
 // cross-array gathers or scalar-insert lanes can lose to scalar code.
+//
+// The zero value prices with the package-default weights and accepts Vec
+// nodes of any width. ForTarget derives a model from an isa.Target, which
+// is how multi-target extraction prices the same saturated e-graph
+// differently per machine.
 type Diospyros struct {
-	// Width is the vector width (lanes per Vec); informational.
+	// Width, when positive, is load-bearing: a Vec node whose lane count
+	// differs from Width costs +Inf, so extraction can never choose a
+	// decomposition chunked for another machine. With several chunk widths
+	// coexisting in one e-graph (rules.Config.Widths), this is what makes
+	// per-target extraction pick the right one. Zero accepts any width.
 	Width int
+
+	// Per-target weight overrides; zero means the package default. See
+	// ForTarget for how an isa.Target's latencies and shuffle capabilities
+	// map onto them.
+	ShuffleWeight float64 // MoveSingleArray Vec (default VecShuffleCost)
+	SelectWeight  float64 // MoveTwoArrays Vec (default VecSelectCost)
+	ManyWeight    float64 // MoveManyArrays Vec (default VecManyCost)
+	DivWeight     float64 // VecDiv multiplier on VectorOpCost (default 2)
+	SqrtWeight    float64 // VecSqrt multiplier on VectorOpCost (default 2)
 }
 
 // Default weights. Scalar arithmetic costs 1 per operation; vector
@@ -127,6 +148,14 @@ const (
 
 var _ Model = Diospyros{}
 
+// weight returns override when positive, else the package default.
+func weight(override, def float64) float64 {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
 // NodeCost implements Model.
 func (d Diospyros) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
 	switch n.Op {
@@ -143,6 +172,12 @@ func (d Diospyros) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
 	case expr.OpConcat:
 		return ConcatCost
 	case expr.OpVec:
+		if d.Width > 0 && len(children) != d.Width {
+			// Wrong lane count for this machine: unextractable. The
+			// extractor discards +Inf candidates, which prunes the whole
+			// decomposition built on this Vec.
+			return math.Inf(1)
+		}
 		mc, scalarLanes := ClassifyVec(children)
 		switch mc {
 		case MoveLiteral:
@@ -150,23 +185,55 @@ func (d Diospyros) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
 		case MoveContiguous:
 			return VecContigCost
 		case MoveSingleArray:
-			return VecShuffleCost
+			return weight(d.ShuffleWeight, VecShuffleCost)
 		case MoveTwoArrays:
-			return VecSelectCost
+			return weight(d.SelectWeight, VecSelectCost)
 		case MoveManyArrays:
-			return VecManyCost
+			return weight(d.ManyWeight, VecManyCost)
 		default:
-			return VecManyCost + VecScalarLane*float64(scalarLanes)
+			return weight(d.ManyWeight, VecManyCost) + VecScalarLane*float64(scalarLanes)
 		}
 	case expr.OpVecAdd, expr.OpVecMinus, expr.OpVecMul, expr.OpVecMAC,
 		expr.OpVecNeg, expr.OpVecSgn:
 		return VectorOpCost
-	case expr.OpVecDiv, expr.OpVecSqrt:
-		return VectorOpCost * 2
+	case expr.OpVecDiv:
+		return VectorOpCost * weight(d.DivWeight, 2)
+	case expr.OpVecSqrt:
+		return VectorOpCost * weight(d.SqrtWeight, 2)
 	case expr.OpVecFunc:
 		return VectorOpCost * UninterpPenalty
 	}
 	return ScalarOpCost
+}
+
+// ForTarget derives the extraction cost model for a machine descriptor:
+// scalar targets get the vector-forbidding model; vector targets get a
+// width-gated Diospyros whose movement weights scale with the target's
+// shuffle/select latencies and whose long-op multipliers follow its VDiv
+// and VSqrt latencies. A machine without a single-register shuffle prices
+// single-array gathers like selects; one without a two-register select
+// prices any cross-register gather near the scalar-insert ceiling.
+// ForTarget(isa.Default()) reproduces the package-default weights exactly.
+func ForTarget(t *isa.Target) Model {
+	if t.IsScalar() {
+		return ScalarOnly{}
+	}
+	d := Diospyros{
+		Width:         t.Width,
+		ShuffleWeight: VecShuffleCost * float64(t.LatencyOf(isa.VShfl)),
+		SelectWeight:  VecSelectCost * float64(t.LatencyOf(isa.VSel)),
+		ManyWeight:    VecManyCost * float64(t.LatencyOf(isa.VSel)),
+		DivWeight:     float64(t.LatencyOf(isa.VDiv)) / 5,
+		SqrtWeight:    float64(t.LatencyOf(isa.VSqrt)) / 7,
+	}
+	if !t.ShuffleCaps.SingleRegister {
+		d.ShuffleWeight = d.SelectWeight
+	}
+	if !t.ShuffleCaps.TwoRegister {
+		d.SelectWeight = VecManyCost * 2
+		d.ManyWeight = VecManyCost * 3
+	}
+	return d
 }
 
 // loadCharge prices the scalar loads implied by Get operands of a scalar

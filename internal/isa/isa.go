@@ -23,7 +23,11 @@ import (
 	"strings"
 )
 
-// Width is the vector width of FG3-lite (lanes per vector register).
+// Width is the default vector width (lanes per vector register), matching
+// the paper's 4-wide Fusion G3. It is only a default: programs carry a
+// runtime Target descriptor whose Width may differ (Program.VecWidth), and
+// only the fixed-width hand-written baselines (kcc's default layout, the
+// nature vendor library) still assume it.
 const Width = 4
 
 // Opcode enumerates FG3-lite instructions.

@@ -13,6 +13,18 @@ type Program struct {
 	Instrs []Instr
 	Labels map[string]int // label -> instruction index
 	Layout *Layout
+	// Target is the machine the program was compiled for; the simulator
+	// takes the vector-register width and opcode latencies from it. Nil
+	// means the default fg3lite-4 machine (hand-written library kernels).
+	Target *Target
+}
+
+// VecWidth returns the vector-register width the program executes with.
+func (p *Program) VecWidth() int {
+	if p.Target != nil {
+		return p.Target.Width
+	}
+	return Width
 }
 
 // Layout assigns flat memory regions to named arrays.
@@ -112,6 +124,13 @@ func NewBuilder(name string, layout *Layout) *Builder {
 
 // Layout returns the program's memory layout for extension and queries.
 func (b *Builder) Layout() *Layout { return b.prog.Layout }
+
+// SetTarget stamps the machine descriptor onto the program being built.
+// Unset means the default fg3lite-4 machine.
+func (b *Builder) SetTarget(t *Target) { b.prog.Target = t }
+
+// VecWidth returns the vector width of the program being built.
+func (b *Builder) VecWidth() int { return b.prog.VecWidth() }
 
 // Emit appends an instruction.
 func (b *Builder) Emit(in Instr) {

@@ -45,10 +45,25 @@ func (m Mode) String() string {
 	return "parametric"
 }
 
-// Compile compiles a typed kernel to FG3-lite.
+// Compile compiles a typed kernel to FG3-lite for the default target.
 func Compile(k *frontend.Kernel, mode Mode) (*isa.Program, error) {
+	return CompileTarget(k, mode, nil)
+}
+
+// CompileTarget compiles a typed kernel for the given target machine (nil
+// means the default fg3lite-4). kcc emits scalar code only, so the target
+// affects just the memory layout's width padding and the latency table the
+// simulator applies to the emitted program.
+func CompileTarget(k *frontend.Kernel, mode Mode, t *isa.Target) (*isa.Program, error) {
+	if t == nil {
+		t = isa.Default()
+	}
+	w := t.Width
+	if w < 1 {
+		w = 1
+	}
 	lay := isa.NewLayout()
-	pad := func(n int) int { return (n + isa.Width - 1) / isa.Width * isa.Width }
+	pad := func(n int) int { return (n + w - 1) / w * w }
 	for _, p := range k.Params {
 		lay.Add(p.Name, pad(p.Len()))
 	}
@@ -57,6 +72,7 @@ func Compile(k *frontend.Kernel, mode Mode) (*isa.Program, error) {
 	}
 	name := fmt.Sprintf("%s_%s", k.Name, mode)
 	b := isa.NewBuilder(name, lay)
+	b.SetTarget(t)
 	if mode == FixedSize {
 		c := newUnroller(k, b)
 		if err := c.run(); err != nil {

@@ -183,7 +183,8 @@ func (c *structured) stmt(st frontend.Stmt) error {
 			n *= d
 		}
 		name := fmt.Sprintf("%s$%d", s.Name, len(c.arrays))
-		base := c.b.Layout().Add(name, (n+isa.Width-1)/isa.Width*isa.Width)
+		w := c.b.VecWidth()
+		base := c.b.Layout().Add(name, (n+w-1)/w*w)
 		reg := c.b.IReg()
 		c.b.Emit(isa.Instr{Op: isa.IConst, Dst: reg, IImm: base})
 		zero := c.b.FReg()

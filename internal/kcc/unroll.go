@@ -322,7 +322,8 @@ func (c *unroller) stmt(st frontend.Stmt) error {
 		}
 		c.locals++
 		name := fmt.Sprintf("%s$%d", s.Name, c.locals)
-		base := c.b.Layout().Add(name, (n+isa.Width-1)/isa.Width*isa.Width)
+		w := c.b.VecWidth()
+		base := c.b.Layout().Add(name, (n+w-1)/w*w)
 		reg := c.b.IReg()
 		c.b.Emit(isa.Instr{Op: isa.IConst, Dst: reg, IImm: base})
 		arr := &uArray{dims: s.Dims, name: name, baseReg: reg}

@@ -15,14 +15,25 @@
 package rules
 
 import (
+	"sort"
+
 	"diospyros/internal/egraph"
 )
 
 // Config selects and parameterizes the rule set.
 type Config struct {
 	// Width is the machine vector width (lanes per Vec). The Fusion G3
-	// target of the paper has Width 4.
+	// target of the paper has Width 4. Ignored when Widths is set.
 	Width int
+
+	// Widths, when non-empty, requests multi-width saturation: one chunk
+	// rule per width populates the e-graph with Vec decompositions of
+	// every listed width simultaneously, and the lane-wise/MAC searchers
+	// match Vec nodes of any listed width. Per-target extraction then
+	// picks one width via the cost model (cost.Diospyros.Width). The list
+	// is deduplicated and sorted, so the rule set — and therefore the
+	// e-graph — is identical regardless of request order.
+	Widths []int
 
 	// EnableAC turns on full associativity/commutativity rules for + and *.
 	// As §3.3 discusses, these blow up the e-graph; they are off by default
@@ -45,6 +56,26 @@ type Config struct {
 // Default returns the configuration used throughout the evaluation.
 func Default(width int) Config { return Config{Width: width} }
 
+// widths returns the effective, sorted, deduplicated width list.
+func (c Config) widths() []int {
+	if len(c.Widths) == 0 {
+		if c.Width <= 0 {
+			return nil
+		}
+		return []int{c.Width}
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range c.Widths {
+		if w > 1 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 func (c Config) laneAlts() int {
 	if c.MaxLaneAlts <= 0 {
 		return 2
@@ -61,7 +92,8 @@ func (c Config) combos() int {
 
 // Rules builds the rewrite list for the configuration.
 func (c Config) Rules() []egraph.Rewrite {
-	if c.Width <= 0 {
+	widths := c.widths()
+	if len(widths) == 0 {
 		panic("rules: Width must be positive")
 	}
 	out := scalarRules()
@@ -70,8 +102,10 @@ func (c Config) Rules() []egraph.Rewrite {
 		out = append(out, acRules()...)
 	}
 	if !c.DisableVector {
+		for _, w := range widths {
+			out = append(out, chunkRule{width: w})
+		}
 		out = append(out,
-			chunkRule{width: c.Width},
 			newVectorizeRule(c),
 			newMACRule(c),
 		)

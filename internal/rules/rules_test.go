@@ -296,8 +296,9 @@ func TestRandomSpecSoundness(t *testing.T) {
 		spec := expr.List(elems...)
 		g := egraph.New()
 		root := g.AddExpr(spec)
-		egraph.Run(g, Default(4).Rules(), egraph.Limits{MaxIterations: 20, MaxNodes: 50000})
-		ex := extract.New(g, cost.Diospyros{Width: 4})
+		cfg := Default(4)
+		egraph.Run(g, cfg.Rules(), egraph.Limits{MaxIterations: 20, MaxNodes: 50000})
+		ex := extract.New(g, cost.Diospyros{Width: cfg.Width})
 		out, err := ex.Expr(root)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -334,8 +335,9 @@ func TestExtractedCostReflectsMovement(t *testing.T) {
 	costOf := func(src string) float64 {
 		g := egraph.New()
 		root := g.AddExpr(expr.MustParse(src))
-		egraph.Run(g, Default(4).Rules(), egraph.Limits{MaxIterations: 20, MaxNodes: 50000})
-		ex := extract.New(g, cost.Diospyros{Width: 4})
+		cfg := Default(4)
+		egraph.Run(g, cfg.Rules(), egraph.Limits{MaxIterations: 20, MaxNodes: 50000})
+		ex := extract.New(g, cost.Diospyros{Width: cfg.Width})
 		return ex.Cost(root)
 	}
 	if cs, cc := costOf(single), costOf(cross); cs >= cc {

@@ -55,9 +55,24 @@ func classHasLit(g *egraph.EGraph, id egraph.ClassID, v float64) bool {
 //	(Vec (+ a b) 0 (+ c d) 0) ⇝ (VecAdd (Vec a 0 c 0) (Vec b 0 d 0))
 type vectorizeRule struct {
 	cfg Config
+	ws  widthSet
 }
 
-func newVectorizeRule(cfg Config) egraph.Rewrite { return vectorizeRule{cfg: cfg} }
+func newVectorizeRule(cfg Config) egraph.Rewrite {
+	return vectorizeRule{cfg: cfg, ws: newWidthSet(cfg)}
+}
+
+// widthSet is the set of configured machine widths, precomputed once so the
+// per-node match filter allocates nothing.
+type widthSet map[int]bool
+
+func newWidthSet(cfg Config) widthSet {
+	ws := widthSet{}
+	for _, w := range cfg.widths() {
+		ws[w] = true
+	}
+	return ws
+}
 
 func (vectorizeRule) Name() string { return "vec-lanewise" }
 
@@ -90,7 +105,7 @@ func (r vectorizeRule) SearchClasses(g *egraph.EGraph, classes []*egraph.EClass)
 	maxAlts, maxCombos := r.cfg.laneAlts(), r.cfg.combos()
 	for _, cls := range classes {
 		for _, vecNode := range cls.Nodes {
-			if vecNode.Op != expr.OpVec || len(vecNode.Args) != r.cfg.Width {
+			if vecNode.Op != expr.OpVec || !r.ws[len(vecNode.Args)] {
 				continue
 			}
 			for _, fam := range laneOps {
@@ -258,9 +273,12 @@ func (r vectorizeRule) Apply(g *egraph.EGraph, m egraph.Match) bool {
 // in the e-graph, trading compute for memory exactly as the paper does.
 type macRule struct {
 	cfg Config
+	ws  widthSet
 }
 
-func newMACRule(cfg Config) egraph.Rewrite { return macRule{cfg: cfg} }
+func newMACRule(cfg Config) egraph.Rewrite {
+	return macRule{cfg: cfg, ws: newWidthSet(cfg)}
+}
 
 func (macRule) Name() string { return "vec-mac" }
 
@@ -275,7 +293,7 @@ func (r macRule) SearchClasses(g *egraph.EGraph, classes []*egraph.EClass) []egr
 	maxAlts, maxCombos := r.cfg.laneAlts(), r.cfg.combos()
 	for _, cls := range classes {
 		for _, vecNode := range cls.Nodes {
-			if vecNode.Op != expr.OpVec || len(vecNode.Args) != r.cfg.Width {
+			if vecNode.Op != expr.OpVec || !r.ws[len(vecNode.Args)] {
 				continue
 			}
 			alts, anySum := macLanes(g, vecNode.Args, maxAlts)

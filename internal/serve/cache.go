@@ -158,6 +158,13 @@ func resultSize(res *diospyros.Result) int64 {
 	if res.Program != nil {
 		size += int64(len(res.Program.Disassemble()))
 	}
+	for i := range res.Targets {
+		tr := &res.Targets[i]
+		size += int64(len(tr.C)) + 256
+		if tr.Program != nil {
+			size += int64(len(tr.Program.Disassemble()))
+		}
+	}
 	if res.Trace != nil {
 		if raw, err := res.Trace.JSON(); err == nil {
 			size += int64(len(raw))
@@ -212,6 +219,10 @@ func canonicalOptions(o diospyros.Options) string {
 	fmt.Fprintf(&b, "width=%d;timeout=%d;nodes=%d;iters=%d;novec=%t;ac=%t;backoff=%t;validate=%t;explain=%t;",
 		o.Width, int64(o.Timeout), o.NodeLimit, o.MaxIterations,
 		o.DisableVectorRules, o.EnableAC, o.UseBackoff, o.Validate, o.Explain)
+	fmt.Fprintf(&b, "target=%q;", o.Target)
+	for _, t := range o.Targets {
+		fmt.Fprintf(&b, "targets=%q;", t)
+	}
 	for _, r := range o.ExtraRules {
 		fmt.Fprintf(&b, "rule=%q|%q|%q;", r.Name, r.LHS, r.RHS)
 	}

@@ -260,6 +260,23 @@ type CompileRequest struct {
 	Validate bool `json:"validate,omitempty"`
 	// Explain attaches the rewrite-provenance report to the trace.
 	Explain bool `json:"explain,omitempty"`
+	// Targets names the machine targets to compile for ("fg3lite-4",
+	// "fg3lite-8", "scalar", ...). One saturation search serves every
+	// target; the first is the primary that fills the top-level C/Assembly
+	// fields, and per-target artifacts land in the response's "targets"
+	// list. Empty means the server's default target.
+	Targets []string `json:"targets,omitempty"`
+}
+
+// TargetProgram is one target's artifacts in a multi-target compile reply.
+type TargetProgram struct {
+	Target    string  `json:"target"`
+	Width     int     `json:"width"`
+	Cost      float64 `json:"cost"`
+	Cycles    int64   `json:"cycles,omitempty"`
+	Validated bool    `json:"validated,omitempty"`
+	C         string  `json:"c,omitempty"`
+	Assembly  string  `json:"assembly,omitempty"`
 }
 
 // CompileResponse is the JSON reply of POST /compile. Trace is present
@@ -277,6 +294,9 @@ type CompileResponse struct {
 	// Aborted names the watchdog budget that killed the compile
 	// ("node-budget", "wall-budget"); empty otherwise.
 	Aborted string `json:"aborted,omitempty"`
+	// Targets carries per-target artifacts when the request asked for more
+	// than one machine target.
+	Targets []TargetProgram `json:"targets,omitempty"`
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -456,6 +476,22 @@ func (s *Server) successResponse(r *http.Request, id string, res *diospyros.Resu
 	if res.Program != nil {
 		resp.Assembly = res.Program.Disassemble()
 	}
+	if len(res.Targets) > 1 {
+		for _, tr := range res.Targets {
+			tp := TargetProgram{
+				Target:    tr.Target,
+				Width:     tr.Width,
+				Cost:      tr.Cost,
+				Cycles:    tr.Cycles,
+				Validated: tr.Validated,
+				C:         tr.C,
+			}
+			if tr.Program != nil {
+				tp.Assembly = tr.Program.Disassemble()
+			}
+			resp.Targets = append(resp.Targets, tp)
+		}
+	}
 	telemetry.LoggerFrom(r.Context()).Info("compile done",
 		"kernel", resp.Kernel, "cost", res.Cost,
 		"nodes", res.Saturation.Nodes, "stop", string(res.Saturation.Reason))
@@ -529,6 +565,9 @@ func (s *Server) parseRequest(r *http.Request, body []byte) (string, diospyros.O
 		opts.DisableVectorRules = opts.DisableVectorRules || req.NoVector
 		opts.Validate = opts.Validate || req.Validate
 		opts.Explain = opts.Explain || req.Explain
+		if len(req.Targets) > 0 {
+			opts.Targets = req.Targets
+		}
 		return req.Source, opts, nil
 	}
 	if len(body) == 0 {

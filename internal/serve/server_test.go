@@ -307,6 +307,76 @@ func TestJSONRequestWithOptions(t *testing.T) {
 	}
 }
 
+// TestMultiTargetCompile is the serve-layer multi-target acceptance test:
+// a two-target JSON compile returns both per-target programs, is cached
+// under a key distinct from the single-target request for the same source,
+// and repeats as a cache hit.
+func TestMultiTargetCompile(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	body, _ := json.Marshal(CompileRequest{Source: dotprod, Targets: []string{"fg3lite-4", "fg3lite-8"}})
+	resp, cr := postCompile(t, ts.URL, string(body), "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	if got := resp.Header.Get("X-Dios-Cache"); got != "miss" {
+		t.Fatalf("first multi-target compile X-Dios-Cache = %q, want miss", got)
+	}
+	if len(cr.Targets) != 2 {
+		t.Fatalf("got %d target programs, want 2", len(cr.Targets))
+	}
+	for i, want := range []struct {
+		name  string
+		width int
+	}{{"fg3lite-4", 4}, {"fg3lite-8", 8}} {
+		tp := cr.Targets[i]
+		if tp.Target != want.name || tp.Width != want.width {
+			t.Errorf("targets[%d] = %s/%d, want %s/%d", i, tp.Target, tp.Width, want.name, want.width)
+		}
+		if tp.C == "" || tp.Assembly == "" {
+			t.Errorf("%s: missing C or assembly", tp.Target)
+		}
+		if tp.Cycles <= 0 {
+			t.Errorf("%s: no simulated cycles", tp.Target)
+		}
+	}
+	// The primary artifacts mirror the first requested target.
+	if cr.Assembly != cr.Targets[0].Assembly || cr.C != cr.Targets[0].C {
+		t.Error("primary artifacts do not mirror targets[0]")
+	}
+
+	// Same request again: a cache hit with the same per-target payload.
+	resp2, cr2 := postCompile(t, ts.URL, string(body), "application/json")
+	if got := resp2.Header.Get("X-Dios-Cache"); got != "hit" {
+		t.Fatalf("repeat multi-target compile X-Dios-Cache = %q, want hit", got)
+	}
+	if len(cr2.Targets) != 2 || cr2.Targets[1].Assembly != cr.Targets[1].Assembly {
+		t.Error("cached multi-target response lost per-target programs")
+	}
+
+	// The single-target request for the same source must NOT share the
+	// multi-target entry: it compiles fresh (miss) and carries no targets
+	// array.
+	resp3, cr3 := postCompile(t, ts.URL, dotprod, "text/plain")
+	if got := resp3.Header.Get("X-Dios-Cache"); got != "miss" {
+		t.Fatalf("single-target compile X-Dios-Cache = %q, want miss", got)
+	}
+	if len(cr3.Targets) != 0 {
+		t.Errorf("single-target response has %d targets, want none", len(cr3.Targets))
+	}
+
+	// And the key derivation itself: target set membership and order are
+	// part of the content address.
+	base := compileCacheKey(dotprod, diospyros.Options{})
+	multi := compileCacheKey(dotprod, diospyros.Options{Targets: []string{"fg3lite-4", "fg3lite-8"}})
+	if multi == base {
+		t.Error("targets did not change the cache key")
+	}
+	if one := compileCacheKey(dotprod, diospyros.Options{Targets: []string{"fg3lite-4"}}); one == multi || one == base {
+		t.Error("single-entry targets key collides")
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	for _, c := range []struct {

@@ -10,7 +10,10 @@ import (
 
 // exec executes one instruction, returning the next pc.
 func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
-	lat := int64(in.Op.Latency())
+	lat := int64(1)
+	if in.Op < isa.NumOpcodes {
+		lat = m.lat[in.Op] // per-target latency (Target.LatencyOf)
+	}
 	switch in.Op {
 	case isa.SConst:
 		at := m.issue(in, 0)
@@ -226,12 +229,12 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		return pc + 1, m.setF(in.Dst, fn(args), at+lat)
 
 	case isa.VConst:
-		if len(in.Vals) != isa.Width {
-			return 0, fmt.Errorf("vconst needs %d values, got %d", isa.Width, len(in.Vals))
+		if len(in.Vals) != m.w {
+			return 0, fmt.Errorf("vconst needs %d values, got %d", m.w, len(in.Vals))
 		}
 		at := m.issue(in, 0)
-		var v [isa.Width]float64
-		copy(v[:], in.Vals)
+		v := make([]float64, m.w)
+		copy(v, in.Vals)
 		return pc + 1, m.setV(in.Dst, v, at+lat)
 	case isa.VMov:
 		a, r, err := m.vr(in.A)
@@ -239,14 +242,14 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 			return 0, err
 		}
 		at := m.issue(in, r)
-		return pc + 1, m.setV(in.Dst, a, at+lat)
+		return pc + 1, m.setV(in.Dst, append([]float64(nil), a...), at+lat)
 	case isa.VBcast:
 		a, r, err := m.fr(in.A)
 		if err != nil {
 			return 0, err
 		}
 		at := m.issue(in, r)
-		var v [isa.Width]float64
+		v := make([]float64, m.w)
 		for i := range v {
 			v[i] = a
 		}
@@ -257,12 +260,12 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 			return 0, err
 		}
 		addr := base + in.IImm
-		if err := m.checkAddr(addr, isa.Width); err != nil {
+		if err := m.checkAddr(addr, m.w); err != nil {
 			return 0, err
 		}
 		at := m.issueMem(in, r, m.memReady)
-		var v [isa.Width]float64
-		copy(v[:], m.mem[addr:addr+isa.Width])
+		v := make([]float64, m.w)
+		copy(v, m.mem[addr:addr+m.w])
 		return pc + 1, m.setV(in.Dst, v, at+lat)
 	case isa.VStore, isa.VStoreN:
 		base, r1, err := m.ir(in.A)
@@ -273,10 +276,10 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		n := isa.Width
+		n := m.w
 		if in.Op == isa.VStoreN {
 			n = in.IImm2
-			if n < 1 || n > isa.Width {
+			if n < 1 || n > m.w {
 				return 0, fmt.Errorf("vstoren lane count %d out of range", n)
 			}
 		}
@@ -297,18 +300,19 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if in.IImm < 0 || in.IImm >= isa.Width {
+		if in.IImm < 0 || in.IImm >= m.w {
 			return 0, fmt.Errorf("vinsert lane %d out of range", in.IImm)
 		}
 		at := m.issue(in, max64(r1, r2))
-		cur[in.IImm] = a
-		return pc + 1, m.setV(in.Dst, cur, at+lat)
+		v := append([]float64(nil), cur...)
+		v[in.IImm] = a
+		return pc + 1, m.setV(in.Dst, v, at+lat)
 	case isa.VExtract:
 		a, r, err := m.vr(in.A)
 		if err != nil {
 			return 0, err
 		}
-		if in.IImm < 0 || in.IImm >= isa.Width {
+		if in.IImm < 0 || in.IImm >= m.w {
 			return 0, fmt.Errorf("vextract lane %d out of range", in.IImm)
 		}
 		at := m.issue(in, r)
@@ -318,13 +322,13 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if len(in.Idx) != isa.Width {
-			return 0, fmt.Errorf("vshfl needs %d indices", isa.Width)
+		if len(in.Idx) != m.w {
+			return 0, fmt.Errorf("vshfl needs %d indices", m.w)
 		}
 		at := m.issue(in, r)
-		var v [isa.Width]float64
+		v := make([]float64, m.w)
 		for k, idx := range in.Idx {
-			if idx < 0 || idx >= isa.Width {
+			if idx < 0 || idx >= m.w {
 				return 0, fmt.Errorf("vshfl index %d out of range", idx)
 			}
 			v[k] = a[idx]
@@ -339,17 +343,17 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if len(in.Idx) != isa.Width {
-			return 0, fmt.Errorf("vsel needs %d indices", isa.Width)
+		if len(in.Idx) != m.w {
+			return 0, fmt.Errorf("vsel needs %d indices", m.w)
 		}
 		at := m.issue(in, max64(r1, r2))
-		var v [isa.Width]float64
+		v := make([]float64, m.w)
 		for k, idx := range in.Idx {
 			switch {
-			case idx >= 0 && idx < isa.Width:
+			case idx >= 0 && idx < m.w:
 				v[k] = a[idx]
-			case idx >= isa.Width && idx < 2*isa.Width:
-				v[k] = b[idx-isa.Width]
+			case idx >= m.w && idx < 2*m.w:
+				v[k] = b[idx-m.w]
 			default:
 				return 0, fmt.Errorf("vsel index %d out of range", idx)
 			}
@@ -365,8 +369,8 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 			return 0, err
 		}
 		at := m.issue(in, max64(r1, r2))
-		var v [isa.Width]float64
-		for k := 0; k < isa.Width; k++ {
+		v := make([]float64, m.w)
+		for k := 0; k < m.w; k++ {
 			switch in.Op {
 			case isa.VAdd:
 				v[k] = a[k] + b[k]
@@ -393,18 +397,19 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 			return 0, err
 		}
 		at := m.issue(in, max64(r0, max64(r1, r2)))
-		for k := 0; k < isa.Width; k++ {
-			acc[k] += a[k] * b[k]
+		v := append([]float64(nil), acc...)
+		for k := 0; k < m.w; k++ {
+			v[k] += a[k] * b[k]
 		}
-		return pc + 1, m.setV(in.Dst, acc, at+lat)
+		return pc + 1, m.setV(in.Dst, v, at+lat)
 	case isa.VNeg, isa.VSqrt, isa.VSgn:
 		a, r, err := m.vr(in.A)
 		if err != nil {
 			return 0, err
 		}
 		at := m.issue(in, r)
-		var v [isa.Width]float64
-		for k := 0; k < isa.Width; k++ {
+		v := make([]float64, m.w)
+		for k := 0; k < m.w; k++ {
 			switch in.Op {
 			case isa.VNeg:
 				v[k] = -a[k]
@@ -421,7 +426,7 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 			return 0, fmt.Errorf("no semantics for function %q", in.Sym)
 		}
 		var ready int64
-		vals := make([][isa.Width]float64, len(in.Args))
+		vals := make([][]float64, len(in.Args))
 		for i, reg := range in.Args {
 			v, r, err := m.vr(reg)
 			if err != nil {
@@ -431,8 +436,8 @@ func (m *machine) exec(pc int, in *isa.Instr) (int, error) {
 			ready = max64(ready, r)
 		}
 		at := m.issue(in, ready)
-		var v [isa.Width]float64
-		for k := 0; k < isa.Width; k++ {
+		v := make([]float64, m.w)
+		for k := 0; k < m.w; k++ {
 			args := make([]float64, len(vals))
 			for i := range vals {
 				args[i] = vals[i][k]

@@ -161,13 +161,20 @@ func (r *Result) VectorOps() int64 {
 	return n
 }
 
-// machine is the architectural state.
+// machine is the architectural state. Vector registers are w-sized slices
+// where w comes from the program's Target descriptor (Program.VecWidth),
+// not a compile-time constant; every vector instruction validates its
+// payload (VConst values, VShfl/VSel indices, VStoreN lane counts) against
+// that width. Stored register slices are never mutated in place — each
+// write installs a fresh slice — so aliasing through VMov is safe.
 type machine struct {
 	cfg  Config
 	prog *isa.Program
+	w    int // vector width of the program's target
+	lat  [isa.NumOpcodes]int64
 	f    []float64
 	i    []int
-	v    [][isa.Width]float64
+	v    [][]float64
 	mem  []float64
 
 	// Scoreboard state for cycle accounting.
@@ -189,14 +196,24 @@ func Run(p *isa.Program, mem []float64, cfg Config) (*Result, error) {
 	m := &machine{
 		cfg:     cfg,
 		prog:    p,
+		w:       p.VecWidth(),
 		f:       make([]float64, cfg.FRegs),
 		i:       make([]int, cfg.IRegs),
-		v:       make([][isa.Width]float64, cfg.VRegs),
+		v:       make([][]float64, cfg.VRegs),
 		mem:     append([]float64(nil), mem...),
 		fReady:  make([]int64, cfg.FRegs),
 		iReady:  make([]int64, cfg.IRegs),
 		vReady:  make([]int64, cfg.VRegs),
 		slotMem: -1, slotALU: -1, slotCtrl: -1,
+	}
+	if m.w < 1 {
+		return nil, fmt.Errorf("sim: program %s has vector width %d", p.Name, m.w)
+	}
+	for op := isa.Opcode(0); op < isa.NumOpcodes; op++ {
+		m.lat[op] = int64(p.Target.LatencyOf(op))
+	}
+	for i := range m.v {
+		m.v[i] = make([]float64, m.w)
 	}
 	res := &Result{OpCounts: map[isa.Opcode]int64{}}
 	pc := 0
@@ -318,9 +335,12 @@ func (m *machine) ir(idx int) (int, int64, error) {
 	return m.i[idx], m.iReady[idx], nil
 }
 
-func (m *machine) vr(idx int) ([isa.Width]float64, int64, error) {
+// vr returns a vector register's value. The slice is shared with the
+// register file; callers must treat it as read-only and install results
+// via setV with a fresh slice.
+func (m *machine) vr(idx int) ([]float64, int64, error) {
 	if idx < 0 || idx >= len(m.v) {
-		return [isa.Width]float64{}, 0, fmt.Errorf("v register %d out of range", idx)
+		return nil, 0, fmt.Errorf("v register %d out of range", idx)
 	}
 	return m.v[idx], m.vReady[idx], nil
 }
@@ -343,7 +363,8 @@ func (m *machine) setI(idx int, v int, ready int64) error {
 	return nil
 }
 
-func (m *machine) setV(idx int, v [isa.Width]float64, ready int64) error {
+// setV installs a vector register value, taking ownership of the slice.
+func (m *machine) setV(idx int, v []float64, ready int64) error {
 	if idx < 0 || idx >= len(m.v) {
 		return fmt.Errorf("v register %d out of range", idx)
 	}

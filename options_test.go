@@ -88,18 +88,19 @@ func TestOpCostSteersExtraction(t *testing.T) {
 	checkCompiled(t, l, opts)
 }
 
-// TestWidthParametric compiles at non-default widths; IR and C are
-// produced (FG3-lite assembly is width-4 only).
+// TestWidthParametric compiles at non-default widths; every width now gets
+// IR, C, and runnable assembly (targets are width-parametric).
 func TestWidthParametric(t *testing.T) {
 	for _, w := range []int{2, 8} {
+		l := kernels.MatMul(2, 2, 2)
 		opts := testOpts()
 		opts.Width = w
-		res, err := Compile(kernels.MatMul(2, 2, 2), opts)
+		res, err := Compile(l, opts)
 		if err != nil {
 			t.Fatalf("width %d: %v", w, err)
 		}
-		if res.Program != nil {
-			t.Fatalf("width %d: unexpected FG3-lite program", w)
+		if res.Program == nil {
+			t.Fatalf("width %d: no assembly program", w)
 		}
 		if res.VIR.Width != w {
 			t.Fatalf("width %d: IR width %d", w, res.VIR.Width)
@@ -107,8 +108,24 @@ func TestWidthParametric(t *testing.T) {
 		if len(res.C) == 0 {
 			t.Fatalf("width %d: no C output", w)
 		}
-		if _, _, err := res.Run(nil, nil); err == nil {
-			t.Fatalf("width %d: Run should fail without a program", w)
+		r := rand.New(rand.NewSource(int64(w)))
+		in := randIn(r, l)
+		got, _, err := res.Run(in, nil)
+		if err != nil {
+			t.Fatalf("width %d: Run: %v", w, err)
+		}
+		env := expr.NewEnv()
+		for k, v := range in {
+			env.Arrays[k] = v
+		}
+		want, err := l.Spec.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, wv := range want.AsSlice() {
+			if math.Abs(got["c"][i]-wv) > 1e-9 {
+				t.Fatalf("width %d: c[%d] = %g, want %g", w, i, got["c"][i], wv)
+			}
 		}
 	}
 }

@@ -26,25 +26,32 @@ const (
 	StageExtract  = "extract"
 	StageLower    = "lower"
 	StageCodegen  = "codegen"
+	StageSimulate = "simulate"
 	StageValidate = "validate"
 )
 
 // compileState is the shared state threaded through the compile pipeline.
-// Each stage reads the fields of earlier stages and fills in its own.
+// Each stage reads the fields of earlier stages and fills in its own. The
+// per-target stages (extract through validate) iterate over targets/
+// perTarget; the legacy single-target fields mirror perTarget[0].
 type compileState struct {
 	opts Options
+
+	targets []*isa.Target // resolved before the pipeline runs
 
 	src    string         // kernel source text ("" when lifted directly)
 	lifted *kernel.Lifted // after lift
 
-	g         *egraph.EGraph // after saturate
-	root      egraph.ClassID
-	report    egraph.Report
-	extractor *extract.Extractor // after extract
-	optimized *expr.Expr
-	ir        *vir.Program // after lower
-	cText     string       // after codegen
-	program   *isa.Program
+	g          *egraph.EGraph // after saturate
+	root       egraph.ClassID
+	report     egraph.Report
+	extractors []*extract.Extractor // after extract, one per target
+	perTarget  []TargetResult       // filled in stage by stage
+	extractor  *extract.Extractor   // = extractors[0]
+	optimized  *expr.Expr
+	ir         *vir.Program // after lower
+	cText      string       // after codegen
+	program    *isa.Program
 	validated bool // after validate
 }
 
@@ -62,6 +69,11 @@ func compilePipeline() *pipeline.Pipeline[*compileState] {
 		pipeline.Stage[*compileState]{Name: StageExtract, Run: stageExtract},
 		pipeline.Stage[*compileState]{Name: StageLower, Run: stageLower},
 		pipeline.Stage[*compileState]{Name: StageCodegen, Run: stageCodegen},
+		pipeline.Stage[*compileState]{
+			Name: StageSimulate,
+			Skip: func(st *compileState) bool { return len(st.targets) < 2 },
+			Run:  stageSimulate,
+		},
 		pipeline.Stage[*compileState]{
 			Name: StageValidate,
 			Skip: func(st *compileState) bool { return !st.opts.Validate },
@@ -85,10 +97,22 @@ func stageLift(_ context.Context, st *compileState) error {
 // egraph.RunContext; hitting it is not an error (partial e-graphs still
 // extract, the Figure 6 behavior). External cancellation is.
 func stageSaturate(ctx context.Context, st *compileState) error {
+	// One rule set covers every requested target: a chunk rule per distinct
+	// vector width populates the shared e-graph with all decompositions at
+	// once, and per-target extraction later picks one via the cost model.
+	var widths []int
+	seen := map[int]bool{}
+	for _, t := range st.targets {
+		if t.Width > 1 && !seen[t.Width] {
+			seen[t.Width] = true
+			widths = append(widths, t.Width)
+		}
+	}
 	cfg := rules.Config{
-		Width:         st.opts.Width,
+		Width:         isa.Width,
+		Widths:        widths,
 		EnableAC:      st.opts.EnableAC,
-		DisableVector: st.opts.DisableVectorRules,
+		DisableVector: st.opts.DisableVectorRules || len(widths) == 0,
 	}
 	ruleSet := cfg.Rules()
 	for _, r := range st.opts.ExtraRules {
@@ -120,7 +144,7 @@ func stageSaturate(ctx context.Context, st *compileState) error {
 		// Arm the best-cost trajectory: after each iteration the journal
 		// samples what extraction would pay for the root right now, using
 		// the same model the extract stage will use.
-		model := resolveCostModel(st.opts)
+		model := resolveCostModel(st.opts, st.targets[0])
 		st.opts.Journal.SampleCost([]egraph.ClassID{st.root},
 			func(g *egraph.EGraph, root egraph.ClassID) (float64, bool) {
 				c := extract.New(g, model).Cost(root)
@@ -143,16 +167,17 @@ func stageSaturate(ctx context.Context, st *compileState) error {
 	return nil
 }
 
-// resolveCostModel materializes the extraction cost model from the
-// options: the explicit override, the scalar-ablation model, or the default
-// Diospyros data-movement model, with per-op overrides applied on top.
-func resolveCostModel(opts Options) cost.Model {
+// resolveCostModel materializes the extraction cost model for one target:
+// the explicit override, the scalar-ablation model, or the target-derived
+// Diospyros data-movement model (width-gated so wrong-width decompositions
+// are unextractable), with per-op overrides applied on top.
+func resolveCostModel(opts Options, t *isa.Target) cost.Model {
 	model := opts.CostModel
 	if model == nil {
 		if opts.DisableVectorRules {
 			model = cost.ScalarOnly{}
 		} else {
-			model = cost.Diospyros{Width: opts.Width}
+			model = cost.ForTarget(t)
 		}
 	}
 	if len(opts.OpCost) > 0 {
@@ -161,50 +186,97 @@ func resolveCostModel(opts Options) cost.Model {
 	return model
 }
 
-// stageExtract picks the cheapest program from the e-graph (§3.4).
+// stageExtract picks the cheapest program from the e-graph (§3.4), once per
+// target: the saturated e-graph is shared, the cost model is not.
 func stageExtract(_ context.Context, st *compileState) error {
-	st.extractor = extract.New(st.g, resolveCostModel(st.opts))
-	optimized, err := st.extractor.Expr(st.root)
-	if err != nil {
-		return fmt.Errorf("extraction failed: %w", err)
-	}
-	st.optimized = optimized
-	return nil
-}
-
-// stageLower lowers the extracted program to the vector IR and runs the
-// backend cleanup (§4): LVN, shuffle fusion, DCE, then live-range
-// splitting only when the kernel's register pressure exceeds a realistic
-// file (56 of 64 registers, leaving headroom for codegen temporaries).
-func stageLower(_ context.Context, st *compileState) error {
-	raw, err := lower.Lower(st.lifted.Name, st.optimized, st.opts.Width, st.lifted)
-	if err != nil {
-		return fmt.Errorf("lowering failed: %w", err)
-	}
-	st.ir = vir.BoundPressure(vir.Optimize(raw), 56)
-	return nil
-}
-
-// stageCodegen emits C-with-intrinsics text and, at the native width,
-// FG3-lite assembly.
-func stageCodegen(_ context.Context, st *compileState) error {
-	st.cText = codegenC(st.ir)
-	if st.opts.Width == isa.Width {
-		p, err := codegenISA(st.ir)
+	st.extractors = make([]*extract.Extractor, len(st.targets))
+	st.perTarget = make([]TargetResult, len(st.targets))
+	for i, t := range st.targets {
+		ex := extract.New(st.g, resolveCostModel(st.opts, t))
+		optimized, err := ex.Expr(st.root)
 		if err != nil {
-			return fmt.Errorf("code generation failed: %w", err)
+			return fmt.Errorf("extraction failed for %s: %w", t, err)
 		}
-		st.program = p
+		st.extractors[i] = ex
+		st.perTarget[i] = TargetResult{
+			Target:    t.Name,
+			Width:     t.Width,
+			Optimized: optimized,
+			Cost:      ex.Cost(st.root),
+		}
+	}
+	st.extractor = st.extractors[0]
+	st.optimized = st.perTarget[0].Optimized
+	return nil
+}
+
+// stageLower lowers each target's extracted program to the vector IR at
+// that target's width and runs the backend cleanup (§4): LVN, shuffle
+// fusion, DCE, then live-range splitting only when the kernel's register
+// pressure exceeds a realistic file (56 of 64 registers, leaving headroom
+// for codegen temporaries).
+func stageLower(_ context.Context, st *compileState) error {
+	for i, t := range st.targets {
+		tr := &st.perTarget[i]
+		raw, err := lower.Lower(st.lifted.Name, tr.Optimized, t.Width, st.lifted)
+		if err != nil {
+			return fmt.Errorf("lowering failed for %s: %w", t, err)
+		}
+		tr.VIR = vir.BoundPressure(vir.Optimize(raw), 56)
+	}
+	st.ir = st.perTarget[0].VIR
+	return nil
+}
+
+// stageCodegen emits, per target, C-with-intrinsics text and — for targets
+// with an assembly backend — simulator assembly.
+func stageCodegen(_ context.Context, st *compileState) error {
+	for i, t := range st.targets {
+		tr := &st.perTarget[i]
+		tr.C = codegenC(tr.VIR)
+		if t.HasAssembly {
+			p, err := codegenISA(tr.VIR, t)
+			if err != nil {
+				return fmt.Errorf("code generation failed for %s: %w", t, err)
+			}
+			tr.Program = p
+		}
+	}
+	st.cText = st.perTarget[0].C
+	st.program = st.perTarget[0].Program
+	return nil
+}
+
+// stageSimulate runs each target's program on the cycle-level simulator
+// with deterministic inputs, recording per-target cycle counts so
+// multi-target compiles answer "which machine wins on this kernel" in one
+// call. Only runs when more than one target is requested; simulation
+// failures (e.g. uninterpreted functions with no binding) leave Cycles 0
+// rather than failing the compile.
+func stageSimulate(_ context.Context, st *compileState) error {
+	inputs := deterministicInputs(st.lifted, 1)
+	for i := range st.perTarget {
+		tr := &st.perTarget[i]
+		if tr.Program == nil {
+			continue
+		}
+		if _, sres, err := codegenExecute(tr.Program, inputs, st.lifted.Inputs, st.lifted.Outputs, nil); err == nil {
+			tr.Cycles = sres.Cycles
+		}
 	}
 	return nil
 }
 
-// stageValidate runs translation validation (§3.4) on the extracted
-// program against the lifted specification.
+// stageValidate runs translation validation (§3.4) on every target's
+// extracted program against the lifted specification.
 func stageValidate(_ context.Context, st *compileState) error {
-	if err := validateCheck(st.lifted, st.optimized); err != nil {
-		return fmt.Errorf("translation validation failed: %w", err)
+	for i, t := range st.targets {
+		tr := &st.perTarget[i]
+		if err := validateCheck(st.lifted, tr.Optimized); err != nil {
+			return fmt.Errorf("translation validation failed for %s: %w", t, err)
+		}
+		tr.Validated = true
 	}
-	st.validated = true
+	st.validated = st.perTarget[0].Validated
 	return nil
 }
