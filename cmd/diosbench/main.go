@@ -21,10 +21,13 @@
 // (with traces) as JSON; -profile prints each kernel's simulated cycle
 // breakdown. -trace-out/-metrics-out export all compilation traces as
 // Chrome trace-event JSON / Prometheus text, and -bench-json writes
-// per-kernel cycles+profiles for regression tracking (the CI smoke job's
-// artifacts). -compare BENCH_PR3.json gates the run against a committed
-// baseline, exiting 1 when any kernel's cycles regress beyond -tolerance.
-// Experiments run under a context cancelled by SIGINT/SIGTERM.
+// per-kernel cycles+profiles+peak-e-graph-bytes for regression tracking
+// (the CI smoke job's artifacts). -compare BENCH_PR7.json gates the run
+// against a committed baseline, exiting 1 when any kernel's cycles regress
+// beyond -tolerance or its peak e-graph bytes beyond -mem-tolerance.
+// -mem-profile FILE captures a pprof heap profile at the suite's e-graph
+// node-count peak. Experiments run under a context cancelled by
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 
 	diospyros "diospyros"
 	"diospyros/internal/bench"
+	"diospyros/internal/egraph"
 	"diospyros/internal/telemetry"
 )
 
@@ -70,12 +74,14 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write all kernels' compilation traces as Chrome trace-event JSON to this file")
 		metricOut  = flag.String("metrics-out", "", "write all kernels' compilation metrics in Prometheus text format to this file")
 		benchJSON  = flag.String("bench-json", "", "write per-kernel simulated cycles and profiles as JSON to this file")
-		compare    = flag.String("compare", "", "compare per-kernel cycles against this -bench-json baseline; exit 1 on regressions beyond -tolerance")
+		compare    = flag.String("compare", "", "compare per-kernel cycles and peak e-graph bytes against this -bench-json baseline; exit 1 on regressions beyond -tolerance / -mem-tolerance")
 		tolerance  = flag.Float64("tolerance", 0.15, "relative cycle regression tolerance for -compare (0.15 = +15% fails)")
+		memTol     = flag.Float64("mem-tolerance", 0.25, "relative peak-e-graph-bytes regression tolerance for -compare (0.25 = +25% fails)")
+		memProfile = flag.String("mem-profile", "", "write a pprof heap profile captured at the suite's e-graph node-count peak to this file")
 	)
 	flag.Parse()
 
-	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile || *compare != ""
+	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile || *compare != "" || *memProfile != ""
 	if !(*all || *table1 || *figure5 || *figure6 || *motivating || *expertCmp ||
 		*ablation || *costAbl || *theiaCase || *validate || *matchSweep ||
 		*targets != "" || exporting) {
@@ -121,7 +127,23 @@ func main() {
 	}
 
 	if *all || *table1 || exporting {
-		rows, err := bench.Table1(bench.T1Options{Opts: opts, Only: *only, Progress: progress, Context: ctx})
+		t1opts := opts
+		var profiler *telemetry.MemProfiler
+		if *memProfile != "" {
+			// One Progress feeds every kernel's saturation run in turn, so a
+			// single profiler captures the heap at the suite-wide node peak.
+			prog := &egraph.Progress{}
+			t1opts.Progress = prog
+			profiler = telemetry.StartMemProfiler(func() int { return prog.Snapshot().Nodes }, 0)
+		}
+		rows, err := bench.Table1(bench.T1Options{Opts: t1opts, Only: *only, Progress: progress, Context: ctx})
+		if profiler != nil {
+			snapshot, peak := profiler.Stop()
+			if werr := os.WriteFile(*memProfile, snapshot, 0o644); werr != nil {
+				fail(werr)
+			}
+			fmt.Fprintf(os.Stderr, "diosbench: heap profile at %d-node peak written to %s\n", peak, *memProfile)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -171,12 +193,22 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			verdict, err := bench.CompareBench(baseline, rows, *tolerance)
-			if err != nil {
-				fail(err)
+			regressions := 0
+			for _, gate := range []struct {
+				metric bench.CompareMetric
+				tol    float64
+			}{
+				{bench.MetricCycles, *tolerance},
+				{bench.MetricPeakBytes, *memTol},
+			} {
+				verdict, err := bench.CompareBenchMetric(baseline, rows, gate.tol, gate.metric)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Print(bench.FormatCompareMetric(verdict, gate.tol, gate.metric.Name))
+				regressions += bench.CountRegressions(verdict)
 			}
-			fmt.Print(bench.FormatCompare(verdict, *tolerance))
-			if bench.CountRegressions(verdict) > 0 {
+			if regressions > 0 {
 				os.Exit(1)
 			}
 		}

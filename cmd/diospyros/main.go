@@ -75,6 +75,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the pipeline trace as Chrome trace-event JSON to this file")
 		metricOut = flag.String("metrics-out", "", "write the pipeline trace in Prometheus text format to this file")
 		reportOut = flag.String("report", "", "write a self-contained HTML flight report (search, extraction, sim cycles) to this file")
+		memProf   = flag.String("mem-profile", "", "write a pprof heap profile captured at the e-graph's node-count peak to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -147,7 +148,23 @@ func main() {
 		// report compile always runs with the journal on.
 		opts.Journal = egraph.NewJournal(0)
 	}
+	var profiler *telemetry.MemProfiler
+	if *memProf != "" {
+		// The profiler polls live Progress and snapshots the heap profile
+		// whenever the node count sets a new high-water mark, so the written
+		// profile shows the allocation stacks behind the e-graph's peak.
+		prog := &egraph.Progress{}
+		opts.Progress = prog
+		profiler = telemetry.StartMemProfiler(func() int { return prog.Snapshot().Nodes }, 0)
+	}
 	res, err := diospyros.CompileSourceContext(ctx, string(src), opts)
+	if profiler != nil {
+		snapshot, peak := profiler.Stop()
+		if werr := os.WriteFile(*memProf, snapshot, 0o644); werr != nil {
+			fatal(werr)
+		}
+		logger.Info("heap profile written", "file", *memProf, "peak_nodes", peak)
+	}
 	if err != nil {
 		fatal(err)
 	}

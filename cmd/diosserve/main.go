@@ -27,8 +27,9 @@
 // identical requests are coalesced into a single compile.
 //
 // Compiles run on a bounded worker pool with an admission queue; a
-// per-request saturation watchdog aborts compiles whose e-graph or wall
-// clock blows the -watchdog-nodes / -watchdog-wall budgets. Every request
+// per-request saturation watchdog aborts compiles whose e-graph, process
+// heap, or wall clock blows the -watchdog-nodes / -watchdog-heap /
+// -watchdog-wall budgets. Every request
 // gets an ID that tags its structured log lines (stage-level at -log-level
 // debug) and its response. SIGINT/SIGTERM drains: /readyz flips to 503,
 // in-flight compiles get -drain-grace to finish, then the listener closes.
@@ -59,6 +60,7 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request compile deadline (default 120s)")
 		wdNodes    = flag.Int("watchdog-nodes", 2_000_000, "abort compiles whose e-graph exceeds this many nodes (0 disables)")
 		wdWall     = flag.Duration("watchdog-wall", 0, "abort compiles running longer than this (0 disables)")
+		wdHeap     = flag.Int64("watchdog-heap", 0, "abort compiles once the process live heap exceeds this many bytes (0 disables)")
 		satTimeout = flag.Duration("timeout", 0, "default equality-saturation timeout (default 180s)")
 		matchWork  = flag.Int("match-workers", 0, "parallel e-matching workers per compile (default: one per CPU; 1 forces serial; output is identical at any setting)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "content-addressed compile cache budget in bytes (default 64 MiB, negative disables)")
@@ -84,6 +86,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		WatchdogNodes:  *wdNodes,
 		WatchdogWall:   *wdWall,
+		WatchdogHeap:   *wdHeap,
 		TraceLog:       *traceLog,
 		CacheBytes:     *cacheBytes,
 		Options: diospyros.Options{

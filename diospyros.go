@@ -229,9 +229,21 @@ func compile(ctx context.Context, st *compileState) (*Result, error) {
 	}
 	st.targets = targets
 	rec := telemetry.NewRecorder()
+	sampler := telemetry.StartHeapSampler(0)
 	runErr := compilePipeline().Run(ctx, st, rec)
+	heapPeak, heapSamples, gcCycles, gcPause := sampler.Stop()
 	rec.SetIterations(st.report.Iters)
 	rec.SetStopReason(string(st.report.Reason))
+	if st.report.PeakFootprint.Total > 0 {
+		// The memory record attaches before the error branch so aborted and
+		// failed compiles still report how big the e-graph got.
+		mt := memoryTraceFromReport(st.report)
+		mt.HeapPeakBytes = heapPeak
+		mt.HeapSamples = heapSamples
+		mt.GCCycles = gcCycles
+		mt.GCPauseTotal = gcPause
+		rec.SetMemory(mt)
+	}
 	if st.opts.Journal != nil {
 		// The search flight record attaches even to failed and aborted
 		// compiles — explaining what the watchdog killed is its job.

@@ -69,6 +69,37 @@ func searchTraceFromJournal(j *egraph.Journal) *telemetry.SearchTrace {
 	return st
 }
 
+// memoryTraceFromReport converts the saturation report's peak footprint
+// into the trace-serializable memory record (telemetry cannot import the
+// e-graph without a cycle). The heap-sampler fields are filled by compile.
+func memoryTraceFromReport(rep egraph.Report) *telemetry.MemoryTrace {
+	fp := rep.PeakFootprint
+	mt := &telemetry.MemoryTrace{
+		PeakBytes:     fp.Total,
+		PeakIteration: rep.PeakIteration,
+	}
+	for _, c := range []struct {
+		name string
+		comp egraph.FootprintComponent
+	}{
+		{"e-nodes", fp.Nodes},
+		{"hashcons", fp.Hashcons},
+		{"union-find", fp.UnionFind},
+		{"classes", fp.Classes},
+		{"parents", fp.Parents},
+		{"provenance", fp.Provenance},
+		{"journal", fp.Journal},
+	} {
+		if c.comp.Entries == 0 && c.comp.Bytes == 0 {
+			continue
+		}
+		mt.Components = append(mt.Components, telemetry.MemoryComponent{
+			Name: c.name, Entries: c.comp.Entries, Bytes: c.comp.Bytes,
+		})
+	}
+	return mt
+}
+
 // extractionTrace builds the extraction flight record for the chosen
 // program rooted at root.
 func extractionTrace(ex *extract.Extractor, root egraph.ClassID) *telemetry.ExtractionTrace {

@@ -7,22 +7,24 @@ import (
 	"strings"
 )
 
-// Cycle-regression gate: diosbench -compare checks a fresh run's simulated
-// cycle counts against a committed -bench-json baseline (BENCH_PR3.json at
-// the repo root) and fails when any kernel slows down beyond a relative
-// tolerance. This is what keeps the CI bench job an actual regression test
-// instead of an artifact dump.
+// Regression gate: diosbench -compare checks a fresh run's metrics against
+// a committed -bench-json baseline (BENCH_PR7.json at the repo root) and
+// fails when any kernel regresses beyond a relative tolerance. The gate is
+// metric-generic (CompareMetric): CI runs it once on simulated cycles and
+// once on peak e-graph bytes, with separate tolerances (-tolerance,
+// -mem-tolerance). This is what keeps the CI bench job an actual regression
+// test instead of an artifact dump.
 
-// CompareStatus classifies one kernel's cycles against the baseline.
+// CompareStatus classifies one kernel's metric against the baseline.
 type CompareStatus string
 
 const (
 	// CompareOK: within tolerance of the baseline.
 	CompareOK CompareStatus = "ok"
-	// CompareRegressed: slower than baseline beyond tolerance — the only
+	// CompareRegressed: worse than baseline beyond tolerance — the only
 	// status that fails the gate.
 	CompareRegressed CompareStatus = "regressed"
-	// CompareImproved: faster than baseline beyond tolerance. Worth
+	// CompareImproved: better than baseline beyond tolerance. Worth
 	// noticing (the baseline is stale) but never a failure.
 	CompareImproved CompareStatus = "improved"
 	// CompareNew: present in this run but absent from the baseline.
@@ -30,24 +32,65 @@ const (
 	// CompareMissing: in the baseline but not this run (e.g. an -only
 	// filter). Informational only.
 	CompareMissing CompareStatus = "missing"
+	// CompareNoBaseline: the baseline row exists but carries a zero value
+	// for this metric (an older-format baseline, or a kernel that never
+	// produced the metric). A relative delta against zero is meaningless,
+	// so the row is informational, like CompareNew.
+	CompareNoBaseline CompareStatus = "no-baseline"
 )
+
+// CompareMetric names one gated metric and extracts it from baseline and
+// current rows.
+type CompareMetric struct {
+	// Name labels the gate's output ("cycle", "peak e-graph bytes").
+	Name string
+	// Baseline reads the metric from a parsed baseline row.
+	Baseline func(benchJSONRow) int64
+	// Current reads the metric from a fresh Table 1 row.
+	Current func(T1Row) int64
+}
+
+// MetricCycles gates on simulated cycles (the original -compare behavior).
+var MetricCycles = CompareMetric{
+	Name:     "cycle",
+	Baseline: func(b benchJSONRow) int64 { return b.Cycles },
+	Current:  func(r T1Row) int64 { return r.Cycles },
+}
+
+// MetricPeakBytes gates on the peak e-graph logical footprint. The
+// footprint is a deterministic function of the search (DESIGN.md §13), so
+// it can be committed to a baseline and gated like cycles.
+var MetricPeakBytes = CompareMetric{
+	Name:     "peak e-graph bytes",
+	Baseline: func(b benchJSONRow) int64 { return b.PeakEGraphBytes },
+	Current:  func(r T1Row) int64 { return r.PeakEGraphBytes },
+}
 
 // CompareRow is one kernel's verdict.
 type CompareRow struct {
 	ID       string
 	Baseline int64
 	Current  int64
-	// Delta is the relative cycle change, (current-baseline)/baseline;
-	// positive means slower. Zero for new/missing rows.
+	// Delta is the relative metric change, (current-baseline)/baseline;
+	// positive means worse. Zero for new/missing/no-baseline rows.
 	Delta  float64
 	Status CompareStatus
 }
 
-// CompareBench judges rows against a -bench-json baseline with the given
-// relative tolerance (0.15 means +15% cycles fails). Rows are returned in
-// baseline order, then new kernels, then baseline kernels missing from
-// this run.
+// CompareBench judges rows' simulated cycles against a -bench-json baseline
+// with the given relative tolerance (0.15 means +15% cycles fails); see
+// CompareBenchMetric.
 func CompareBench(baseline []byte, rows []T1Row, tolerance float64) ([]CompareRow, error) {
+	return CompareBenchMetric(baseline, rows, tolerance, MetricCycles)
+}
+
+// CompareBenchMetric judges one metric of rows against a -bench-json
+// baseline with the given relative tolerance. Rows are returned in baseline
+// order, then new kernels, then baseline kernels missing from this run.
+// Baseline rows whose metric is zero get CompareNoBaseline (informational):
+// a relative delta against zero would be ±Inf, and an older baseline that
+// predates the metric must not fail the gate.
+func CompareBenchMetric(baseline []byte, rows []T1Row, tolerance float64, metric CompareMetric) ([]CompareRow, error) {
 	if tolerance < 0 {
 		return nil, fmt.Errorf("negative tolerance %v", tolerance)
 	}
@@ -57,22 +100,26 @@ func CompareBench(baseline []byte, rows []T1Row, tolerance float64) ([]CompareRo
 	}
 	cur := make(map[string]int64, len(rows))
 	for _, r := range rows {
-		cur[r.Kernel.ID] = r.Cycles
+		cur[r.Kernel.ID] = metric.Current(r)
 	}
 
 	var out []CompareRow
 	seen := map[string]bool{}
 	for _, b := range base {
 		seen[b.ID] = true
+		bv := metric.Baseline(b)
 		c, ok := cur[b.ID]
 		if !ok {
-			out = append(out, CompareRow{ID: b.ID, Baseline: b.Cycles, Status: CompareMissing})
+			out = append(out, CompareRow{ID: b.ID, Baseline: bv, Status: CompareMissing})
 			continue
 		}
-		row := CompareRow{ID: b.ID, Baseline: b.Cycles, Current: c, Status: CompareOK}
-		if b.Cycles > 0 {
-			row.Delta = float64(c-b.Cycles) / float64(b.Cycles)
+		row := CompareRow{ID: b.ID, Baseline: bv, Current: c, Status: CompareOK}
+		if bv <= 0 {
+			row.Status = CompareNoBaseline
+			out = append(out, row)
+			continue
 		}
+		row.Delta = float64(c-bv) / float64(bv)
 		switch {
 		case row.Delta > tolerance:
 			row.Status = CompareRegressed
@@ -102,10 +149,17 @@ func CountRegressions(rows []CompareRow) int {
 	return n
 }
 
-// FormatCompare renders the comparison as a table with a one-line verdict.
+// FormatCompare renders the cycle comparison as a table with a one-line
+// verdict; see FormatCompareMetric.
 func FormatCompare(rows []CompareRow, tolerance float64) string {
+	return FormatCompareMetric(rows, tolerance, MetricCycles.Name)
+}
+
+// FormatCompareMetric renders one metric's comparison as a table with a
+// one-line verdict.
+func FormatCompareMetric(rows []CompareRow, tolerance float64, metricName string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== cycle regression check (tolerance %+.0f%%) ==\n", tolerance*100)
+	fmt.Fprintf(&b, "== %s regression check (tolerance %+.0f%%) ==\n", metricName, tolerance*100)
 	w := len("kernel")
 	for _, r := range rows {
 		if len(r.ID) > w {
@@ -115,11 +169,11 @@ func FormatCompare(rows []CompareRow, tolerance float64) string {
 	fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s  %s\n", w, "kernel", "baseline", "current", "delta", "status")
 	for _, r := range rows {
 		delta := fmt.Sprintf("%+.1f%%", r.Delta*100)
-		if r.Status == CompareNew || r.Status == CompareMissing {
+		if r.Status == CompareNew || r.Status == CompareMissing || r.Status == CompareNoBaseline {
 			delta = "-"
 		}
 		fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s  %s\n",
-			w, r.ID, cycleCell(r.Baseline), cycleCell(r.Current), delta, r.Status)
+			w, r.ID, metricCell(r.Baseline), metricCell(r.Current), delta, r.Status)
 	}
 	if n := CountRegressions(rows); n > 0 {
 		fmt.Fprintf(&b, "FAIL: %d kernel(s) regressed beyond %.0f%%\n", n, tolerance*100)
@@ -129,7 +183,7 @@ func FormatCompare(rows []CompareRow, tolerance float64) string {
 	return b.String()
 }
 
-func cycleCell(v int64) string {
+func metricCell(v int64) string {
 	if v == 0 {
 		return "-"
 	}

@@ -69,6 +69,79 @@ func TestCompareBenchErrors(t *testing.T) {
 	}
 }
 
+// TestCompareBenchZeroBaseline pins the zero-baseline guard: a baseline row
+// whose metric is zero (an old-format file, or a kernel that never produced
+// the metric) must come back informational, never ±Inf and never a gate
+// failure.
+func TestCompareBenchZeroBaseline(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseline string
+		metric   CompareMetric
+	}{
+		{"zero cycles", `[{"id":"k","cycles":0}]`, MetricCycles},
+		{"missing peak bytes field", `[{"id":"k","cycles":100}]`, MetricPeakBytes},
+		{"explicit zero peak bytes", `[{"id":"k","cycles":100,"peak_egraph_bytes":0}]`, MetricPeakBytes},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, err := CompareBenchMetric([]byte(tc.baseline),
+				[]T1Row{{Kernel: Kernel{ID: "k"}, Cycles: 500, PeakEGraphBytes: 1 << 20}},
+				0.15, tc.metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 1 || rows[0].Status != CompareNoBaseline {
+				t.Fatalf("rows = %+v, want one no-baseline row", rows)
+			}
+			if rows[0].Delta != 0 {
+				t.Errorf("no-baseline delta = %v, want 0", rows[0].Delta)
+			}
+			if n := CountRegressions(rows); n != 0 {
+				t.Errorf("no-baseline counted as regression: %d", n)
+			}
+		})
+	}
+}
+
+// TestCompareBenchMetricPeakBytes runs the gate on the memory metric and
+// checks regressions and improvements are judged on bytes, not cycles.
+func TestCompareBenchMetricPeakBytes(t *testing.T) {
+	baseline := []byte(`[
+		{"id": "steady", "cycles": 1, "peak_egraph_bytes": 1000000},
+		{"id": "bloated", "cycles": 1, "peak_egraph_bytes": 1000000},
+		{"id": "slimmer", "cycles": 1, "peak_egraph_bytes": 1000000}
+	]`)
+	rows, err := CompareBenchMetric(baseline, []T1Row{
+		// Cycles regress wildly everywhere; the memory gate must not care.
+		{Kernel: Kernel{ID: "steady"}, Cycles: 9999, PeakEGraphBytes: 1_100_000},
+		{Kernel: Kernel{ID: "bloated"}, Cycles: 9999, PeakEGraphBytes: 1_600_000},
+		{Kernel: Kernel{ID: "slimmer"}, Cycles: 9999, PeakEGraphBytes: 500_000},
+	}, 0.25, MetricPeakBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]CompareStatus{
+		"steady":  CompareOK,
+		"bloated": CompareRegressed,
+		"slimmer": CompareImproved,
+	}
+	for _, r := range rows {
+		if r.Status != want[r.ID] {
+			t.Errorf("%s: status %s, want %s (delta %+.2f)", r.ID, r.Status, want[r.ID], r.Delta)
+		}
+	}
+	out := FormatCompareMetric(rows, 0.25, MetricPeakBytes.Name)
+	for _, want := range []string{
+		"== peak e-graph bytes regression check (tolerance +25%) ==",
+		"FAIL: 1 kernel(s) regressed beyond 25%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestFormatCompare(t *testing.T) {
 	rows := compareFixture(t)
 	out := FormatCompare(rows, 0.15)

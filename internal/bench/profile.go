@@ -57,13 +57,20 @@ type benchJSONRow struct {
 	ID      string       `json:"id"`
 	Cycles  int64        `json:"cycles"`
 	Profile *sim.Profile `json:"profile,omitempty"`
+	// PeakEGraphBytes is the e-graph's peak logical footprint during the
+	// compile — the memory half of the regression gate. Omitted (and read
+	// back as zero, which the gate treats as no-baseline) in baselines that
+	// predate memory accounting.
+	PeakEGraphBytes int64 `json:"peak_egraph_bytes,omitempty"`
 }
 
-// BenchJSON renders per-kernel cycle counts and profiles as JSON.
+// BenchJSON renders per-kernel cycle counts, peak e-graph bytes, and
+// profiles as JSON.
 func BenchJSON(rows []T1Row) ([]byte, error) {
 	out := make([]benchJSONRow, len(rows))
 	for i, r := range rows {
-		out[i] = benchJSONRow{ID: r.Kernel.ID, Cycles: r.Cycles, Profile: r.Profile}
+		out[i] = benchJSONRow{ID: r.Kernel.ID, Cycles: r.Cycles, Profile: r.Profile,
+			PeakEGraphBytes: r.PeakEGraphBytes}
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -33,6 +33,10 @@ type T1Row struct {
 	// per opcode, issue slot, and stall cause.
 	Cycles  int64
 	Profile *sim.Profile
+	// PeakEGraphBytes is the e-graph's peak logical footprint during the
+	// compile (Trace.Memory.PeakBytes) — deterministic, so the bench gate
+	// can compare it against a committed baseline.
+	PeakEGraphBytes int64
 }
 
 // T1Options parameterizes the Table 1 run.
@@ -94,6 +98,9 @@ func Table1(opt T1Options) ([]T1Row, error) {
 			Cycles:     cycles,
 			Profile:    profile,
 		}
+		if tr.Memory != nil {
+			row.PeakEGraphBytes = tr.Memory.PeakBytes
+		}
 		rows = append(rows, row)
 		if opt.Progress != nil {
 			opt.Progress(fmt.Sprintf("%-20s %10v %8.1f MB  %7d nodes  %s",
@@ -108,17 +115,18 @@ func Table1(opt T1Options) ([]T1Row, error) {
 func FormatTable1(rows []T1Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: benchmark kernels — compilation time and memory\n")
-	fmt.Fprintf(&b, "%-22s %-12s %6s %12s %12s %9s %6s %8s %s\n",
-		"Benchmark", "Size", "LOC", "Time", "Memory", "E-nodes", "Iters", "Cycles", "Stop")
+	fmt.Fprintf(&b, "%-22s %-12s %6s %12s %12s %12s %9s %6s %8s %s\n",
+		"Benchmark", "Size", "LOC", "Time", "Memory", "E-graph", "E-nodes", "Iters", "Cycles", "Stop")
 	for _, r := range rows {
 		timeout := ""
 		if r.TimedOut {
 			timeout = " †"
 		}
-		fmt.Fprintf(&b, "%-22s %-12s %6d %12v %9.1f MB %9d %6d %8d %s%s\n",
+		fmt.Fprintf(&b, "%-22s %-12s %6d %12v %9.1f MB %9.1f MB %9d %6d %8d %s%s\n",
 			r.Kernel.Family, r.Kernel.Size, r.Kernel.RefLOC,
 			r.Time.Round(time.Millisecond),
-			float64(r.AllocBytes)/1e6, r.Nodes, r.Iterations, r.Cycles, r.Reason, timeout)
+			float64(r.AllocBytes)/1e6, float64(r.PeakEGraphBytes)/1e6,
+			r.Nodes, r.Iterations, r.Cycles, r.Reason, timeout)
 	}
 	b.WriteString("† equality saturation stopped before reaching a fixpoint\n")
 	return b.String()
@@ -154,6 +162,8 @@ type t1JSONRow struct {
 	Trace      *telemetry.Trace `json:"trace,omitempty"`
 	Cycles     int64            `json:"cycles,omitempty"`
 	Profile    *sim.Profile     `json:"profile,omitempty"`
+	// PeakEGraphBytes is the e-graph's peak logical footprint.
+	PeakEGraphBytes int64 `json:"peak_egraph_bytes,omitempty"`
 }
 
 // Table1JSON renders the rows (with their traces) as JSON for machine
@@ -168,6 +178,7 @@ func Table1JSON(rows []T1Row) ([]byte, error) {
 			Iterations: r.Iterations, Reason: string(r.Reason),
 			Validated: r.Validated, Trace: r.Trace,
 			Cycles: r.Cycles, Profile: r.Profile,
+			PeakEGraphBytes: r.PeakEGraphBytes,
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")

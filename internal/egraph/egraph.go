@@ -74,6 +74,16 @@ type EGraph struct {
 	// enforced by the saturation runner, which polls NumNodes against
 	// Limits.MaxNodes and stops the run with StopNodeLimit.
 	nodeCount int
+
+	// Footprint counters (see footprint.go). Maintained incrementally at
+	// the same mutation sites as nodeCount so Footprint()/FootprintBytes()
+	// stay O(1): nodePayload sums the variable payload bytes (Args backing
+	// arrays + Sym strings) of nodes in class node lists, memoKeyBytes sums
+	// hashcons key string contents, parentCount counts parent back-reference
+	// entries across all classes.
+	nodePayload  int64
+	memoKeyBytes int64
+	parentCount  int
 }
 
 // New returns an empty e-graph.
@@ -217,12 +227,15 @@ func (g *EGraph) Add(n ENode) ClassID {
 	g.classes[id] = cls
 	g.memo[key] = id
 	g.nodeCount++
+	g.nodePayload += nodePayloadBytes(n)
+	g.memoKeyBytes += int64(len(key))
 	if g.prov != nil {
 		g.prov.recordNode(key)
 	}
 	for _, child := range dedupClasses(n.Args) {
 		cc := g.classes[child]
 		cc.parents = append(cc.parents, parent{node: n, class: id})
+		g.parentCount++
 	}
 	return id
 }
@@ -331,11 +344,17 @@ func (g *EGraph) repair(id ClassID) {
 	}
 	oldParents := cls.parents
 	cls.parents = nil
+	g.parentCount -= len(oldParents)
 	newParents := make(map[string]parent, len(oldParents))
 	for _, p := range oldParents {
 		// Remove the stale hashcons entry, re-canonicalize, re-insert.
+		// Duplicate parent entries map to the same key, so the byte counter
+		// only moves when the entry actually existed.
 		oldKey := g.nodeKey(p.node)
-		delete(g.memo, oldKey)
+		if _, ok := g.memo[oldKey]; ok {
+			g.memoKeyBytes -= int64(len(oldKey))
+			delete(g.memo, oldKey)
+		}
 		g.canonicalize(&p.node)
 		key := g.nodeKey(p.node)
 		if g.prov != nil {
@@ -358,15 +377,20 @@ func (g *EGraph) repair(id ClassID) {
 	for _, k := range keys {
 		p := newParents[k]
 		p.class = g.Find(p.class)
+		if _, ok := g.memo[k]; !ok {
+			g.memoKeyBytes += int64(len(k))
+		}
 		g.memo[k] = p.class
 		cls.parents = append(cls.parents, p)
+		g.parentCount++
 	}
 }
 
 // canonicalizeClasses canonicalizes every node in every class and removes
-// duplicates, updating the total node count.
+// duplicates, updating the total node count and payload-byte counter.
 func (g *EGraph) canonicalizeClasses() {
 	total := 0
+	payload := int64(0)
 	for _, cls := range g.classes {
 		seen := make(map[string]bool, len(cls.Nodes))
 		out := cls.Nodes[:0]
@@ -376,12 +400,14 @@ func (g *EGraph) canonicalizeClasses() {
 			if !seen[key] {
 				seen[key] = true
 				out = append(out, cls.Nodes[i])
+				payload += nodePayloadBytes(cls.Nodes[i])
 			}
 		}
 		cls.Nodes = out
 		total += len(out)
 	}
 	g.nodeCount = total
+	g.nodePayload = payload
 }
 
 // CheckInvariants verifies hashcons and congruence invariants, returning a

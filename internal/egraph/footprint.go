@@ -1,0 +1,127 @@
+package egraph
+
+import "unsafe"
+
+// Footprint accounting. The e-graph keeps three incremental counters —
+// node payload bytes, hashcons key bytes, and the parent-list entry count —
+// updated at the same mutation sites that already maintain nodeCount, so
+// Footprint() is O(1) arithmetic over them plus container lengths. The
+// resulting "logical bytes" are the bytes the e-graph's own data structures
+// account for: struct sizes come from the compiler (unsafe.Sizeof constants),
+// variable-length payloads (child ID slices, symbol and hashcons key strings)
+// from their lengths. Go map bucket overhead and allocator slack are
+// deliberately excluded: logical bytes are a deterministic lower bound that
+// is bit-identical across runs and worker counts — the property that lets
+// the bench suite gate on them — while allocator truth comes from the
+// telemetry heap sampler and pprof profiles.
+
+// Per-entry sizes. All are compile-time constants: unsafe.Sizeof of a
+// composite literal is a constant expression, so none of this costs a
+// reflection walk at runtime.
+const (
+	enodeSize     = int64(unsafe.Sizeof(ENode{}))
+	parentSize    = int64(unsafe.Sizeof(parent{}))
+	eclassSize    = int64(unsafe.Sizeof(EClass{}))
+	classIDSize   = int64(unsafe.Sizeof(ClassID(0)))
+	classPtrSize  = int64(unsafe.Sizeof((*EClass)(nil)))
+	rankSize      = int64(unsafe.Sizeof(uint8(0)))
+	strHeaderSize = int64(unsafe.Sizeof(""))
+	justSize      = int64(unsafe.Sizeof(Justification{}))
+	unionStepSize = int64(unsafe.Sizeof(UnionStep{}))
+
+	journalEventSize = int64(unsafe.Sizeof(JournalEvent{}))
+	footprintSize    = int64(unsafe.Sizeof(Footprint{}))
+)
+
+// FootprintComponent is one component's share of the e-graph footprint:
+// how many entries it holds and the logical bytes they occupy.
+type FootprintComponent struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Footprint is a per-component breakdown of the e-graph's logical memory:
+// e-node structs and payloads, the hashcons (keys plus map entries), the
+// union-find arrays, the per-class containers, parent back-references, the
+// provenance store, and — when sampled through a Journal — the journal ring
+// itself. Total is the sum of all component bytes.
+type Footprint struct {
+	Nodes      FootprintComponent `json:"nodes"`
+	Hashcons   FootprintComponent `json:"hashcons"`
+	UnionFind  FootprintComponent `json:"union_find"`
+	Classes    FootprintComponent `json:"classes"`
+	Parents    FootprintComponent `json:"parents"`
+	Provenance FootprintComponent `json:"provenance"`
+	Journal    FootprintComponent `json:"journal"`
+	Total      int64              `json:"total"`
+}
+
+// nodePayloadBytes is the variable-length payload a node carries beyond its
+// struct: the child-ID slice's backing array and the symbol string's bytes.
+// (A parent entry shares the node's Args backing array, so the payload is
+// attributed once, to the class node list.)
+func nodePayloadBytes(n ENode) int64 {
+	return int64(len(n.Args))*classIDSize + int64(len(n.Sym))
+}
+
+// Footprint returns the per-component logical footprint. O(1): every value
+// is derived from container lengths and the incrementally maintained
+// counters, never from walking the graph. The Journal component is zero
+// here — sampleMemory fills it in, since the journal is not part of the
+// graph.
+func (g *EGraph) Footprint() Footprint {
+	var fp Footprint
+	fp.Nodes = FootprintComponent{
+		Entries: g.nodeCount,
+		Bytes:   int64(g.nodeCount)*enodeSize + g.nodePayload,
+	}
+	fp.Hashcons = FootprintComponent{
+		Entries: len(g.memo),
+		Bytes:   int64(len(g.memo))*(strHeaderSize+classIDSize) + g.memoKeyBytes,
+	}
+	fp.UnionFind = FootprintComponent{
+		Entries: len(g.uf),
+		Bytes:   int64(len(g.uf)) * (classIDSize + rankSize),
+	}
+	fp.Classes = FootprintComponent{
+		Entries: len(g.classes),
+		Bytes:   int64(len(g.classes)) * (eclassSize + classIDSize + classPtrSize),
+	}
+	fp.Parents = FootprintComponent{
+		Entries: g.parentCount,
+		Bytes:   int64(g.parentCount) * parentSize,
+	}
+	if g.prov != nil {
+		nodes, unions := len(g.prov.nodes), len(g.prov.unions)
+		fp.Provenance = FootprintComponent{
+			Entries: nodes + unions,
+			// Justification keys alias hashcons keys; their string contents
+			// are attributed once, to the hashcons, so only the map entry
+			// headers count here.
+			Bytes: int64(nodes)*(strHeaderSize+justSize) + int64(unions)*unionStepSize,
+		}
+	}
+	fp.Total = fp.Nodes.Bytes + fp.Hashcons.Bytes + fp.UnionFind.Bytes +
+		fp.Classes.Bytes + fp.Parents.Bytes + fp.Provenance.Bytes
+	return fp
+}
+
+// FootprintBytes returns the e-graph's total logical bytes (the Footprint
+// Total, minus any journal share). It is O(1) and allocation-free, cheap
+// enough to call at every Progress publish site.
+func (g *EGraph) FootprintBytes() int64 {
+	return int64(g.nodeCount)*enodeSize + g.nodePayload +
+		int64(len(g.memo))*(strHeaderSize+classIDSize) + g.memoKeyBytes +
+		int64(len(g.uf))*(classIDSize+rankSize) +
+		int64(len(g.classes))*(eclassSize+classIDSize+classPtrSize) +
+		int64(g.parentCount)*parentSize +
+		g.provBytes()
+}
+
+func (g *EGraph) provBytes() int64 {
+	if g.prov == nil {
+		return 0
+	}
+	nodes, unions := len(g.prov.nodes), len(g.prov.unions)
+	return int64(nodes)*(strHeaderSize+justSize) + int64(unions)*unionStepSize
+}

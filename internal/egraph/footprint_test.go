@@ -1,0 +1,193 @@
+package egraph
+
+import (
+	"fmt"
+	"testing"
+
+	"diospyros/internal/expr"
+)
+
+// recountFootprint recomputes the three incremental footprint counters from
+// scratch by walking the graph — the ground truth the O(1) counters must
+// agree with after any sequence of adds, unions, and rebuilds.
+func recountFootprint(g *EGraph) (nodePayload int64, memoKeyBytes int64, parentCount int) {
+	for _, cls := range g.classes {
+		for _, n := range cls.Nodes {
+			nodePayload += nodePayloadBytes(n)
+		}
+		parentCount += len(cls.parents)
+	}
+	for k := range g.memo {
+		memoKeyBytes += int64(len(k))
+	}
+	return
+}
+
+func checkFootprintConsistent(t *testing.T, g *EGraph, when string) {
+	t.Helper()
+	payload, keys, parents := recountFootprint(g)
+	if g.nodePayload != payload {
+		t.Errorf("%s: nodePayload = %d, recount = %d", when, g.nodePayload, payload)
+	}
+	if g.memoKeyBytes != keys {
+		t.Errorf("%s: memoKeyBytes = %d, recount = %d", when, g.memoKeyBytes, keys)
+	}
+	if g.parentCount != parents {
+		t.Errorf("%s: parentCount = %d, recount = %d", when, g.parentCount, parents)
+	}
+	if total, fp := g.FootprintBytes(), g.Footprint(); total != fp.Total {
+		t.Errorf("%s: FootprintBytes = %d, Footprint().Total = %d", when, total, fp.Total)
+	}
+}
+
+// TestFootprintMatchesRecount drives adds, unions, and a full saturation and
+// checks the incremental counters against a brute-force recount at each
+// stage. This is the invariant that keeps Footprint() honest without paying
+// for graph walks at runtime.
+func TestFootprintMatchesRecount(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(+ (* a (+ b c)) (* a 0))"))
+	checkFootprintConsistent(t, g, "after AddExpr")
+
+	a := g.AddExpr(expr.MustParse("(* a b)"))
+	b := g.AddExpr(expr.MustParse("(* b a)"))
+	g.Union(a, b)
+	g.Rebuild()
+	checkFootprintConsistent(t, g, "after union+rebuild")
+
+	rules := []Rewrite{
+		MustRewrite("mul-zero", "(* ?a 0)", "0"),
+		MustRewrite("add-zero", "(+ ?a 0)", "?a"),
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+		MustRewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+	}
+	rep := Run(g, rules, Limits{MaxIterations: 8})
+	if rep.Iterations == 0 {
+		t.Fatal("saturation did not run")
+	}
+	checkFootprintConsistent(t, g, "after saturation")
+	if fp := g.Footprint(); fp.Nodes.Entries != g.NumNodes() || fp.Nodes.Bytes <= 0 {
+		t.Errorf("node component = %+v, want %d entries with positive bytes",
+			fp.Nodes, g.NumNodes())
+	}
+}
+
+// TestFootprintWithProvenance checks the provenance store's share appears
+// once explanations are armed, and that the counters stay consistent through
+// a provenance-recording run.
+func TestFootprintWithProvenance(t *testing.T) {
+	g := New()
+	g.EnableProvenance()
+	g.AddExpr(expr.MustParse("(+ (* a (+ b c)) 0)"))
+	rules := []Rewrite{
+		MustRewrite("add-zero", "(+ ?a 0)", "?a"),
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+	}
+	Run(g, rules, Limits{MaxIterations: 8})
+	checkFootprintConsistent(t, g, "after provenance run")
+	if fp := g.Footprint(); fp.Provenance.Entries == 0 || fp.Provenance.Bytes <= 0 {
+		t.Errorf("provenance component empty after recorded run: %+v", fp.Provenance)
+	}
+}
+
+// TestRunReportsPeakFootprint checks the runner tracks a peak breakdown and
+// that its peak total is at least the final footprint of a growing search.
+func TestRunReportsPeakFootprint(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(* a (+ b (+ c d)))"))
+	rules := []Rewrite{
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+	}
+	rep := Run(g, rules, Limits{MaxIterations: 6})
+	if rep.PeakFootprint.Total <= 0 {
+		t.Fatalf("PeakFootprint.Total = %d, want > 0", rep.PeakFootprint.Total)
+	}
+	if rep.PeakIteration <= 0 {
+		t.Fatalf("PeakIteration = %d, want >= 1", rep.PeakIteration)
+	}
+	if final := g.FootprintBytes(); rep.PeakFootprint.Total < final {
+		t.Errorf("peak %d below final footprint %d", rep.PeakFootprint.Total, final)
+	}
+}
+
+// TestJournalRingWrapMemorySamples fills a tiny ring past wraparound with
+// interleaved rule and memory events and checks that (a) the surviving
+// suffix still carries intact per-rule counts and footprint breakdowns, and
+// (b) ByteSize's incremental variable-byte tracking agrees with a recount
+// over the surviving slots.
+func TestJournalRingWrapMemorySamples(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(+ a b)"))
+	j := NewJournal(4)
+	const rounds = 9
+	for i := 1; i <= rounds; i++ {
+		j.append(JournalEvent{Kind: JournalRule, Iteration: i,
+			Rule: fmt.Sprintf("rule-%d", i), Matches: i, Applied: i})
+		j.sampleMemory(g, i)
+	}
+	if got := j.Total(); got != 2*rounds {
+		t.Fatalf("Total = %d, want %d", got, 2*rounds)
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("surviving events = %d, want ring cap 4", len(evs))
+	}
+	var rules, mems int
+	for _, ev := range evs {
+		switch ev.Kind {
+		case JournalRule:
+			rules++
+			if want := fmt.Sprintf("rule-%d", ev.Iteration); ev.Rule != want || ev.Applied != ev.Iteration {
+				t.Errorf("wrapped rule event corrupted: %+v", ev)
+			}
+		case JournalMemory:
+			mems++
+			if ev.Memory == nil || ev.Bytes != ev.Memory.Total || ev.Memory.Journal.Entries == 0 {
+				t.Errorf("wrapped memory event corrupted: %+v", ev)
+			}
+		}
+	}
+	if rules == 0 || mems == 0 {
+		t.Fatalf("suffix lost a kind: %d rule, %d memory events", rules, mems)
+	}
+
+	// ByteSize must equal a recount of the surviving slots.
+	var varBytes int64
+	for _, ev := range evs {
+		varBytes += eventVarBytes(ev)
+	}
+	want := int64(len(evs))*journalEventSize + varBytes
+	if got := j.ByteSize(); got != want {
+		t.Fatalf("ByteSize = %d, recount = %d", got, want)
+	}
+	if comp := j.Footprint(); comp.Entries != len(evs) || comp.Bytes != want {
+		t.Fatalf("Footprint = %+v, want {%d %d}", comp, len(evs), want)
+	}
+}
+
+// TestFootprintNilJournalSafe checks the memory-accounting entry points a
+// disarmed (nil) journal reaches: sampling is a no-op and byte queries
+// report zero, so runs without a flight recorder pay nothing.
+func TestFootprintNilJournalSafe(t *testing.T) {
+	var j *Journal
+	g := New()
+	g.AddExpr(expr.MustParse("(+ a b)"))
+	j.sampleMemory(g, 1)
+	if j.ByteSize() != 0 {
+		t.Fatal("nil journal reported bytes")
+	}
+	if comp := j.Footprint(); comp.Entries != 0 || comp.Bytes != 0 {
+		t.Fatalf("nil journal Footprint = %+v, want zero", comp)
+	}
+	// A run with no journal still reports a peak from the progress flush.
+	rep := Run(g, []Rewrite{MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)")},
+		Limits{MaxIterations: 3})
+	if rep.PeakFootprint.Total <= 0 {
+		t.Fatalf("journal-less run lost its peak: %+v", rep.PeakFootprint)
+	}
+	if rep.PeakFootprint.Journal.Bytes != 0 {
+		t.Fatalf("journal-less run attributed journal bytes: %+v", rep.PeakFootprint.Journal)
+	}
+}

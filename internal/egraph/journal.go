@@ -29,6 +29,9 @@ const (
 	JournalIteration JournalEventKind = "iteration"
 	// JournalCost: the best extractable cost of a root after an iteration.
 	JournalCost JournalEventKind = "cost"
+	// JournalMemory: the e-graph's per-component logical footprint after an
+	// iteration's rebuild — the memory trajectory beside the cost trajectory.
+	JournalMemory JournalEventKind = "memory"
 )
 
 // JournalEvent is one flight-recorder entry. Fields are populated per kind;
@@ -67,6 +70,12 @@ type JournalEvent struct {
 	// Root and Cost carry the best-cost trajectory (cost events).
 	Root ClassID `json:"root,omitempty"`
 	Cost float64 `json:"cost,omitempty"`
+
+	// Bytes is the total logical footprint (memory events), including the
+	// journal ring itself.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Memory is the per-component breakdown behind Bytes (memory events).
+	Memory *Footprint `json:"memory,omitempty"`
 }
 
 // DefaultJournalCap bounds a Journal created with NewJournal(0).
@@ -85,6 +94,11 @@ type Journal struct {
 	mu   sync.Mutex
 	buf  []JournalEvent
 	next uint64 // total events ever appended; also the next Seq
+
+	// strBytes tracks the variable bytes (rule-name strings, footprint
+	// breakdowns) held by events currently in the ring, so ByteSize stays
+	// O(1) as events are appended and overwritten.
+	strBytes int64
 
 	costRoots []ClassID
 	costFn    func(*EGraph, ClassID) (float64, bool)
@@ -123,12 +137,50 @@ func (j *Journal) append(ev JournalEvent) {
 	ev.Seq = j.next
 	j.next++
 	if len(j.buf) < cap(j.buf) {
+		j.strBytes += eventVarBytes(ev)
 		j.buf = append(j.buf, ev)
 	} else {
 		// Ring: overwrite the slot the sequence number maps to.
-		j.buf[ev.Seq%uint64(cap(j.buf))] = ev
+		slot := ev.Seq % uint64(cap(j.buf))
+		j.strBytes += eventVarBytes(ev) - eventVarBytes(j.buf[slot])
+		j.buf[slot] = ev
 	}
 	j.mu.Unlock()
+}
+
+// eventVarBytes is the variable payload one ring slot holds beyond the
+// JournalEvent struct itself.
+func eventVarBytes(ev JournalEvent) int64 {
+	n := int64(len(ev.Rule))
+	if ev.Memory != nil {
+		n += footprintSize
+	}
+	return n
+}
+
+// ByteSize returns the logical bytes held by the journal ring: the occupied
+// slots plus their variable payloads. O(1) and nil-safe (0 when disarmed).
+func (j *Journal) ByteSize() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return int64(len(j.buf))*journalEventSize + j.strBytes
+}
+
+// Footprint returns the journal's share of the memory breakdown: buffered
+// event count and ring bytes. Nil-safe; a disarmed journal is zero.
+func (j *Journal) Footprint() FootprintComponent {
+	if j == nil {
+		return FootprintComponent{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return FootprintComponent{
+		Entries: len(j.buf),
+		Bytes:   int64(len(j.buf))*journalEventSize + j.strBytes,
+	}
 }
 
 // Total returns how many events were ever recorded (including evicted).
@@ -212,4 +264,17 @@ func (j *Journal) sampleCosts(g *EGraph, iteration int) {
 			j.append(JournalEvent{Kind: JournalCost, Iteration: iteration, Root: root, Cost: c})
 		}
 	}
+}
+
+// sampleMemory records one memory event carrying the e-graph's footprint
+// plus the journal's own ring share; called by the runner after each
+// iteration's rebuild. Nil-safe: a disarmed journal records nothing.
+func (j *Journal) sampleMemory(g *EGraph, iteration int) {
+	if j == nil {
+		return
+	}
+	fp := g.Footprint()
+	fp.Journal = j.Footprint()
+	fp.Total += fp.Journal.Bytes
+	j.append(JournalEvent{Kind: JournalMemory, Iteration: iteration, Bytes: fp.Total, Memory: &fp})
 }

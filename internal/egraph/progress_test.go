@@ -66,6 +66,14 @@ func TestProgressPublishedDuringRun(t *testing.T) {
 	if s.Iteration == 0 || s.Nodes == 0 {
 		t.Fatalf("nothing published: %+v", s)
 	}
+	// The byte gauge rides every publish, so the final snapshot carries the
+	// live footprint (the graph is non-empty, so it must be positive).
+	if s.Bytes <= 0 {
+		t.Fatalf("no footprint bytes published: %+v", s)
+	}
+	if final := g.FootprintBytes(); s.Bytes < final {
+		t.Fatalf("published bytes %d below final footprint %d", s.Bytes, final)
+	}
 }
 
 // TestProgressDrivenCancellation is the watchdog pattern end to end at the

@@ -164,6 +164,12 @@ type Report struct {
 	// per-rule match/apply counts); it feeds the compilation trace. An
 	// iteration cut short by a limit still contributes a partial gauge.
 	Iters []telemetry.IterationGauge
+	// PeakFootprint is the per-component logical footprint at the iteration
+	// where the e-graph's total bytes peaked (including the journal ring
+	// when armed); PeakIteration is that 1-based iteration. Iterations cut
+	// short by a limit still contribute, so aborted runs report their peak.
+	PeakFootprint Footprint
+	PeakIteration int
 }
 
 // Saturated reports whether the run reached a fixpoint (the e-graph
@@ -215,11 +221,22 @@ func RunContext(ctx context.Context, g *EGraph, rules []Rewrite, lim Limits) Rep
 	nodesOver := func() bool { return lim.MaxNodes > 0 && g.NumNodes() >= lim.MaxNodes }
 
 	jr := lim.Journal
+	// liveBytes is the O(1) logical footprint published to Progress: the
+	// e-graph's counters plus the journal ring when armed.
+	liveBytes := func() int64 { return g.FootprintBytes() + jr.ByteSize() }
 	var gauge telemetry.IterationGauge
 	var iterStart time.Time
 	flushGauge := func() {
 		gauge.Nodes = g.NumNodes()
 		gauge.Classes = g.NumClasses()
+		fp := g.Footprint()
+		fp.Journal = jr.Footprint()
+		fp.Total += fp.Journal.Bytes
+		gauge.Bytes = fp.Total
+		if fp.Total > rep.PeakFootprint.Total {
+			rep.PeakFootprint = fp
+			rep.PeakIteration = gauge.Iteration
+		}
 		gauge.Duration = time.Since(iterStart)
 		rep.Iters = append(rep.Iters, gauge)
 		if jr != nil {
@@ -243,7 +260,7 @@ loop:
 			break
 		}
 		rep.Iterations = iter + 1
-		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
+		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses(), liveBytes())
 		iterStart = time.Now()
 		gauge = telemetry.IterationGauge{
 			Iteration:      iter + 1,
@@ -386,7 +403,7 @@ loop:
 				}
 				if sinceCheck++; sinceCheck >= ctxCheckInterval {
 					sinceCheck = 0
-					lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
+					lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses(), liveBytes())
 					if reason, stop := ctxStop(); stop {
 						g.ClearRuleContext()
 						g.Rebuild()
@@ -405,9 +422,10 @@ loop:
 		}
 		g.ClearRuleContext()
 		g.Rebuild()
-		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses())
+		lim.Progress.publish(iter+1, g.NumNodes(), g.NumClasses(), liveBytes())
 		flushGauge()
 		jr.sampleCosts(g, iter+1)
+		jr.sampleMemory(g, iter+1)
 		if !changed && !ruleSkipped &&
 			(lim.Backoff == nil || !lim.Backoff.anyBanned(iter+1)) {
 			rep.Reason = StopSaturated
@@ -420,7 +438,7 @@ loop:
 	}
 	rep.Nodes = g.NumNodes()
 	rep.Classes = g.NumClasses()
-	lim.Progress.publish(rep.Iterations, rep.Nodes, rep.Classes)
+	lim.Progress.publish(rep.Iterations, rep.Nodes, rep.Classes, liveBytes())
 	rep.Duration = time.Since(start)
 	return rep
 }

@@ -62,6 +62,11 @@ type Config struct {
 	// WatchdogWall aborts a compile running longer than this. 0 disables
 	// the wall budget.
 	WatchdogWall time.Duration
+	// WatchdogHeap aborts a compile once the process's live heap
+	// (runtime/metrics objects bytes) exceeds this many bytes — the budget
+	// guarding the resource that actually OOMs a replica. 0 disables the
+	// heap budget.
+	WatchdogHeap int64
 	// WatchdogPoll is the watchdog sampling interval. 0 means 10 ms.
 	WatchdogPoll time.Duration
 	// StreamHeartbeat is the SSE keep-alive comment interval for streaming
@@ -292,7 +297,7 @@ type CompileResponse struct {
 	Trace     *telemetry.Trace `json:"trace,omitempty"`
 	Error     string           `json:"error,omitempty"`
 	// Aborted names the watchdog budget that killed the compile
-	// ("node-budget", "wall-budget"); empty otherwise.
+	// ("node-budget", "heap-budget", "wall-budget"); empty otherwise.
 	Aborted string `json:"aborted,omitempty"`
 	// Targets carries per-target artifacts when the request asked for more
 	// than one machine target.
@@ -424,7 +429,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var trace *telemetry.Trace
 	if res != nil {
 		trace = res.Trace
-		s.reg.ObserveTrace(trace)
+		s.observeCompile(trace)
 		s.traces.record(id, kernelName(res), started, trace)
 	}
 	if err != nil {

@@ -162,6 +162,67 @@ func TestWatchdogNodeBudgetAbort(t *testing.T) {
 	}
 }
 
+// TestWatchdogHeapBudgetAbort mirrors the node-budget test with a 1-byte
+// heap budget: any live process heap exceeds it, so the watchdog must abort
+// on its first sample with the heap-budget reason, flowing through the same
+// 422 + trace + counter path as node budgets.
+func TestWatchdogHeapBudgetAbort(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/conv3x5.dios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Workers:      1,
+		WatchdogHeap: 1,
+		WatchdogPoll: time.Millisecond,
+		Options:      diospyros.Options{EnableAC: true, Timeout: 10 * time.Second},
+	})
+
+	resp, cr := postCompile(t, ts.URL, string(src), "text/plain")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	if cr.Aborted != "heap-budget" {
+		t.Fatalf("aborted = %q", cr.Aborted)
+	}
+	if cr.Trace == nil || cr.Trace.StopReason != "aborted:heap-budget" {
+		t.Fatalf("trace stop reason = %+v", cr.Trace)
+	}
+	metrics := scrape(t, ts.URL)
+	if !strings.Contains(metrics,
+		`diospyros_serve_saturation_aborts_total{reason="heap-budget"} 1`+"\n") {
+		t.Errorf("abort counter missing:\n%s", metrics)
+	}
+}
+
+// TestWatchdogLiveGaugesResetAfterCompile pins the gauge lifecycle: the
+// watchdog-nodes and egraph-bytes gauges exist after a compile but read 0
+// once it finishes — the stop path clears them instead of freezing the last
+// mid-compile sample (which used to make an idle server look busy).
+func TestWatchdogLiveGaugesResetAfterCompile(t *testing.T) {
+	// No budgets: the sampler must run for pure observability.
+	_, ts := newTestServer(t, Config{Workers: 1, WatchdogPoll: time.Millisecond})
+	resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	metrics := scrape(t, ts.URL)
+	for _, want := range []string{
+		"diospyros_serve_watchdog_nodes 0",
+		"diospyros_serve_egraph_bytes 0",
+	} {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("missing idle reset %q in metrics:\n%s", want, metrics)
+		}
+	}
+	// The heap high-water gauge is a max, not a live sample: it must be
+	// present and positive after a compile.
+	if !strings.Contains(metrics, "diospyros_serve_heap_highwater_bytes ") ||
+		strings.Contains(metrics, "diospyros_serve_heap_highwater_bytes 0\n") {
+		t.Errorf("heap high-water gauge missing or zero:\n%s", metrics)
+	}
+}
+
 // blockingCompileFn returns a stub whose first call blocks until its
 // context ends (reporting the cancellation cause) and signals entry;
 // later calls succeed instantly.

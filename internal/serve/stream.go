@@ -17,9 +17,9 @@ import (
 // watches its own equality saturation as Server-Sent Events. The handler
 // arms the search flight recorder (egraph.Journal), polls it while the
 // compile runs, and relays every journal event — per-iteration per-rule
-// attribution, Backoff bans, iteration summaries, the best-cost
-// trajectory — as an SSE event named by its kind ("rule", "ban", "unban",
-// "iteration", "cost"). The stream ends with a "result" event carrying the
+// attribution, Backoff bans, iteration summaries, the best-cost and memory
+// trajectories — as an SSE event named by its kind ("rule", "ban", "unban",
+// "iteration", "cost", "memory"). The stream ends with a "result" event carrying the
 // same CompileResponse the plain JSON path returns, plus a "status" field
 // holding the HTTP status the JSON path would have used (SSE commits to
 // 200 before the compile finishes). Keep-alive comments flow every
@@ -122,7 +122,7 @@ func (s *Server) streamCompile(w http.ResponseWriter, r *http.Request, cctx cont
 		case out := <-done:
 			flush()
 			if out.res != nil {
-				s.reg.ObserveTrace(out.res.Trace)
+				s.observeCompile(out.res.Trace)
 				s.traces.record(id, kernelName(out.res), started, out.res.Trace)
 			}
 			if !clientGone && r.Context().Err() != nil {

@@ -21,9 +21,23 @@ func sampleTrace() *Trace {
 			{Iteration: 1, Nodes: 100, Classes: 40, Matches: 12, Applied: 9,
 				PerRuleMatches: map[string]int{"vec-mac": 12},
 				PerRuleApplied: map[string]int{"vec-mac": 9},
-				Duration:       4 * time.Millisecond},
+				Duration:       4 * time.Millisecond, Bytes: 48 << 10},
 			{Iteration: 2, Nodes: 180, Classes: 66, Matches: 3, Applied: 1,
-				Duration: 6 * time.Millisecond},
+				Duration: 6 * time.Millisecond, Bytes: 80 << 10},
+		},
+		Memory: &MemoryTrace{
+			PeakBytes:     80 << 10,
+			PeakIteration: 2,
+			Components: []MemoryComponent{
+				{Name: "e-nodes", Entries: 180, Bytes: 40 << 10},
+				{Name: "hashcons", Entries: 180, Bytes: 24 << 10},
+				{Name: "union-find", Entries: 200, Bytes: 16 << 10},
+			},
+			StageAllocs:   []StageAlloc{{Stage: "saturate", AllocBytes: 8 << 20}},
+			HeapPeakBytes: 24 << 20,
+			HeapSamples:   3,
+			GCCycles:      2,
+			GCPauseTotal:  120 * time.Microsecond,
 		},
 		Counters:   map[string]int64{"saturate.applied": 10, "vir.instrs": 7},
 		StopReason: "saturated",

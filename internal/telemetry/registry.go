@@ -126,6 +126,13 @@ var DefLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// DefByteBuckets are the default histogram bounds for memory sizes, in
+// bytes: powers of four from 64 KiB to 1 GiB, spanning toy kernels through
+// searches near the node budget.
+var DefByteBuckets = []float64{
+	64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
 // Observe records v into a histogram with the given bucket upper bounds
 // (ascending, +Inf implied; nil means DefLatencyBuckets). Buckets are fixed
 // at the family's first registration.
@@ -175,6 +182,11 @@ func (r *Registry) ObserveTrace(t *Trace) {
 			"High-water mark of e-graph nodes across compiles.", nil, float64(g.Nodes))
 		r.GaugeMax("diospyros_saturation_classes_max",
 			"High-water mark of e-graph classes across compiles.", nil, float64(g.Classes))
+	}
+	if t.Memory != nil && t.Memory.PeakBytes > 0 {
+		r.Observe("diospyros_egraph_peak_bytes",
+			"Per-compile peak e-graph logical footprint.",
+			nil, DefByteBuckets, float64(t.Memory.PeakBytes))
 	}
 	if t.StopReason != "" {
 		r.CounterAdd("diospyros_saturation_stop_total",
@@ -263,7 +275,8 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 // watchdogs: aborting a compile with
 // context.CancelCauseFunc(&AbortError{Reason: ...}) marks the resulting
 // trace's StopReason as "aborted:<reason>" and lets servers count aborts
-// per reason. Reasons are short tokens ("node-budget", "wall-budget").
+// per reason. Reasons are short tokens ("node-budget", "wall-budget",
+// "heap-budget").
 type AbortError struct {
 	Reason string
 }

@@ -88,6 +88,7 @@ type reportView struct {
 
 	Trajectory *lineChart // nodes & classes per iteration
 	CostCurve  *lineChart // best extractable cost per iteration
+	MemCurve   *lineChart // e-graph logical footprint per iteration
 
 	Rules        []ruleRow
 	Bans         []banRow
@@ -95,7 +96,10 @@ type reportView struct {
 	HasSearch    bool
 	HasIterPlot  bool
 	HasCostPlot  bool
+	HasMemPlot   bool
 	SearchFooter string
+
+	Memory *memoryView
 
 	Extraction *extractionView
 	Cycle      *cycleView
@@ -159,6 +163,23 @@ type banRow struct {
 	Bans      int
 	// Timeline bar geometry: percentage offsets across the iteration span.
 	LeftPct, WidthPct float64
+}
+
+// memoryView is the memory lane: the peak logical footprint with its
+// per-component breakdown, plus the process-heap sampler's highlights.
+type memoryView struct {
+	Peak          string
+	PeakIteration int
+	HeapPeak      string // empty when the heap sampler did not run
+	GCCycles      uint64
+	Components    []memCompRow
+}
+
+type memCompRow struct {
+	Name    string
+	Entries string
+	Bytes   string
+	BarPct  float64 // share of the largest component, for the inline bar
 }
 
 type extractionView struct {
@@ -316,6 +337,15 @@ func buildReportView(d ReportData) *reportView {
 		v.SearchFooter = fmt.Sprintf("%d journal events", t.Search.Events)
 	}
 
+	v.MemCurve = buildMemCurve(t.Iterations)
+	v.HasMemPlot = v.MemCurve != nil
+	if t.Memory != nil {
+		v.Memory = buildMemoryView(t.Memory)
+		v.Tiles = append(v.Tiles, statTile{Label: "peak e-graph",
+			Value: fmtBytes(t.Memory.PeakBytes),
+			Note:  fmt.Sprintf("iteration %d", t.Memory.PeakIteration)})
+	}
+
 	if t.Extraction != nil {
 		v.Extraction = buildExtractionView(t.Extraction)
 	}
@@ -379,6 +409,59 @@ func buildCostCurve(pts []CostPoint) *lineChart {
 		return fmt.Sprintf("iteration %d: cost %s", pts[i].Iteration, trimFloat(pts[i].Cost))
 	})
 	return c.lineChart
+}
+
+// buildMemCurve plots the e-graph's logical footprint per iteration, from
+// the per-iteration gauges. Gauges without a byte reading (traces recorded
+// before footprint accounting) are skipped; the chart needs two readings.
+func buildMemCurve(gs []IterationGauge) *lineChart {
+	var xs, ys []float64
+	var kept []IterationGauge
+	for _, g := range gs {
+		if g.Bytes > 0 {
+			xs = append(xs, float64(g.Iteration))
+			ys = append(ys, float64(g.Bytes))
+			kept = append(kept, g)
+		}
+	}
+	if len(xs) < 2 {
+		return nil
+	}
+	c := newLineChart(xs)
+	c.XLabel = "iteration"
+	c.setYRange(0, maxOf(0, ys...))
+	c.addSeries("e-graph bytes", "s1", xs, ys, func(i int) string {
+		return fmt.Sprintf("iteration %d: %s", kept[i].Iteration, fmtBytes(kept[i].Bytes))
+	})
+	return c.lineChart
+}
+
+func buildMemoryView(m *MemoryTrace) *memoryView {
+	v := &memoryView{
+		Peak:          fmtBytes(m.PeakBytes),
+		PeakIteration: m.PeakIteration,
+		GCCycles:      m.GCCycles,
+	}
+	if m.HeapPeakBytes > 0 {
+		v.HeapPeak = fmtBytes(int64(m.HeapPeakBytes))
+	}
+	var maxB int64
+	for _, c := range m.Components {
+		if c.Bytes > maxB {
+			maxB = c.Bytes
+		}
+	}
+	for _, c := range m.Components {
+		pct := 0.0
+		if maxB > 0 {
+			pct = 100 * float64(c.Bytes) / float64(maxB)
+		}
+		v.Components = append(v.Components, memCompRow{
+			Name: c.Name, Entries: fmt.Sprint(c.Entries),
+			Bytes: fmtBytes(c.Bytes), BarPct: pct,
+		})
+	}
+	return v
 }
 
 // chartBuilder pairs the template-facing lineChart with the value scales
@@ -550,6 +633,18 @@ func trimFloat(f float64) string {
 	s := fmt.Sprintf("%.2f", f)
 	s = strings.TrimRight(s, "0")
 	return strings.TrimRight(s, ".")
+}
+
+// fmtBytes renders a byte count at a human scale (B, KB, MB).
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // compactNum renders axis labels: 12, 3.4k, 1.2M.

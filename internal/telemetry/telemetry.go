@@ -53,6 +53,9 @@ type IterationGauge struct {
 	PerRuleMatches map[string]int `json:"per_rule_matches,omitempty"`
 	PerRuleApplied map[string]int `json:"per_rule_applied,omitempty"`
 	Duration       time.Duration  `json:"duration"`
+	// Bytes is the e-graph's logical footprint after the iteration (memory
+	// trajectory beside the node/class trajectory); 0 when not measured.
+	Bytes int64 `json:"bytes,omitempty"`
 }
 
 // Trace is the full telemetry record of one compilation: the stage spans
@@ -74,6 +77,11 @@ type Trace struct {
 	// the Backoff ban timeline, and the extraction decision trace.
 	Search     *SearchTrace     `json:"search,omitempty"`
 	Extraction *ExtractionTrace `json:"extraction,omitempty"`
+	// Memory is the compile's memory record (memory.go): the e-graph's peak
+	// logical footprint with its per-component breakdown, per-stage heap
+	// allocation deltas, and the runtime heap/GC samples collected while the
+	// pipeline ran.
+	Memory *MemoryTrace `json:"memory,omitempty"`
 	// Duration and AllocBytes cover the whole pipeline, including
 	// per-stage telemetry overhead not attributed to any span.
 	Duration   time.Duration `json:"duration"`
@@ -178,6 +186,15 @@ func (t *Trace) Format() string {
 		g := t.Iterations[len(t.Iterations)-1]
 		fmt.Fprintf(&b, "saturation: %d iterations, %d nodes, %d classes, stopped: %s\n",
 			len(t.Iterations), g.Nodes, g.Classes, t.StopReason)
+	}
+	if t.Memory != nil && t.Memory.PeakBytes > 0 {
+		fmt.Fprintf(&b, "memory: e-graph peak %.2f MB at iteration %d",
+			float64(t.Memory.PeakBytes)/1e6, t.Memory.PeakIteration)
+		if t.Memory.HeapPeakBytes > 0 {
+			fmt.Fprintf(&b, ", heap peak %.2f MB (%d GC cycles)",
+				float64(t.Memory.HeapPeakBytes)/1e6, t.Memory.GCCycles)
+		}
+		b.WriteByte('\n')
 	}
 	if len(t.Counters) > 0 {
 		names := make([]string, 0, len(t.Counters))
@@ -313,6 +330,18 @@ func (r *Recorder) SetExplanation(e *Explanation) {
 	r.mu.Unlock()
 }
 
+// SetMemory attaches the compile's memory record. Finish derives the
+// per-stage allocation deltas from the recorded spans, so callers only fill
+// the footprint and heap-sampler fields.
+func (r *Recorder) SetMemory(m *MemoryTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace.Memory = m
+	r.mu.Unlock()
+}
+
 // Finish stamps the end-to-end totals and returns the completed trace.
 // The recorder must not be used afterwards.
 func (r *Recorder) Finish() *Trace {
@@ -323,6 +352,15 @@ func (r *Recorder) Finish() *Trace {
 	defer r.mu.Unlock()
 	r.trace.Duration = time.Since(r.start)
 	r.trace.AllocBytes = totalAlloc() - r.startAlloc
+	if r.trace.Memory != nil && r.trace.Memory.StageAllocs == nil {
+		// Unify the memory record with the per-span TotalAlloc probe: one
+		// heap-allocation delta per recorded stage, in span order.
+		sa := make([]StageAlloc, 0, len(r.trace.Stages))
+		for _, s := range r.trace.Stages {
+			sa = append(sa, StageAlloc{Stage: s.Name, AllocBytes: s.AllocBytes})
+		}
+		r.trace.Memory.StageAllocs = sa
+	}
 	return &r.trace
 }
 
