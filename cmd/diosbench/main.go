@@ -43,6 +43,7 @@ import (
 
 	diospyros "diospyros"
 	"diospyros/internal/bench"
+	"diospyros/internal/buildinfo"
 	"diospyros/internal/egraph"
 	"diospyros/internal/telemetry"
 )
@@ -78,8 +79,13 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.15, "relative cycle regression tolerance for -compare (0.15 = +15% fails)")
 		memTol     = flag.Float64("mem-tolerance", 0.25, "relative peak-e-graph-bytes regression tolerance for -compare (0.25 = +25% fails)")
 		memProfile = flag.String("mem-profile", "", "write a pprof heap profile captured at the suite's e-graph node-count peak to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("diosbench"))
+		return
+	}
 
 	exporting := *traceOut != "" || *metricOut != "" || *benchJSON != "" || *profile || *compare != "" || *memProfile != ""
 	if !(*all || *table1 || *figure5 || *figure6 || *motivating || *expertCmp ||

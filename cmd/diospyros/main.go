@@ -43,6 +43,7 @@ import (
 	"time"
 
 	diospyros "diospyros"
+	"diospyros/internal/buildinfo"
 	"diospyros/internal/egraph"
 	"diospyros/internal/expr"
 	"diospyros/internal/rules"
@@ -76,8 +77,13 @@ func main() {
 		metricOut = flag.String("metrics-out", "", "write the pipeline trace in Prometheus text format to this file")
 		reportOut = flag.String("report", "", "write a self-contained HTML flight report (search, extraction, sim cycles) to this file")
 		memProf   = flag.String("mem-profile", "", "write a pprof heap profile captured at the e-graph's node-count peak to this file")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("diospyros"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diospyros [flags] kernel.dios")
 		flag.Usage()

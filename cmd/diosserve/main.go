@@ -48,6 +48,7 @@ import (
 	"time"
 
 	diospyros "diospyros"
+	"diospyros/internal/buildinfo"
 	"diospyros/internal/serve"
 	"diospyros/internal/telemetry"
 )
@@ -70,8 +71,13 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON    = flag.Bool("log-json", false, "log JSON lines instead of text")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "shutdown grace period for in-flight compiles")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Summary("diosserve"))
+		return
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {

@@ -66,6 +66,27 @@ var MetricPeakBytes = CompareMetric{
 	Current:  func(r T1Row) int64 { return r.PeakEGraphBytes },
 }
 
+// JudgeDelta is the gate's core judgment, shared by every comparer in the
+// repo (cycle and memory gates here, the serving SLO gate in
+// internal/loadgen): it classifies a current value against a baseline under
+// a relative tolerance, returning the relative delta ((current-baseline)/
+// baseline; positive means worse) and its status. A non-positive baseline
+// yields CompareNoBaseline with a zero delta — a relative delta against
+// zero is meaningless, so such rows are informational, never failures.
+func JudgeDelta(baseline, current, tolerance float64) (float64, CompareStatus) {
+	if baseline <= 0 {
+		return 0, CompareNoBaseline
+	}
+	delta := (current - baseline) / baseline
+	switch {
+	case delta > tolerance:
+		return delta, CompareRegressed
+	case delta < -tolerance:
+		return delta, CompareImproved
+	}
+	return delta, CompareOK
+}
+
 // CompareRow is one kernel's verdict.
 type CompareRow struct {
 	ID       string
@@ -113,19 +134,8 @@ func CompareBenchMetric(baseline []byte, rows []T1Row, tolerance float64, metric
 			out = append(out, CompareRow{ID: b.ID, Baseline: bv, Status: CompareMissing})
 			continue
 		}
-		row := CompareRow{ID: b.ID, Baseline: bv, Current: c, Status: CompareOK}
-		if bv <= 0 {
-			row.Status = CompareNoBaseline
-			out = append(out, row)
-			continue
-		}
-		row.Delta = float64(c-bv) / float64(bv)
-		switch {
-		case row.Delta > tolerance:
-			row.Status = CompareRegressed
-		case row.Delta < -tolerance:
-			row.Status = CompareImproved
-		}
+		row := CompareRow{ID: b.ID, Baseline: bv, Current: c}
+		row.Delta, row.Status = JudgeDelta(float64(bv), float64(c), tolerance)
 		out = append(out, row)
 	}
 	var fresh []CompareRow

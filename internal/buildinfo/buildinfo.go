@@ -1,0 +1,66 @@
+// Package buildinfo identifies the running build: a version string, the Go
+// toolchain that compiled it, and the VCS revision when the binary was
+// built from a checkout. Every CLI exposes it behind a -version flag and
+// diosserve publishes it as the diospyros_build_info gauge, so a soak
+// result or a metrics scrape can always be tied back to the exact build
+// that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"diospyros/internal/isa"
+)
+
+// Version names the release. Overridable at link time:
+//
+//	go build -ldflags "-X diospyros/internal/buildinfo.Version=v1.2.3"
+var Version = "0.8.0-dev"
+
+// Revision returns the VCS revision baked into the binary by the Go
+// toolchain ("unknown" outside a VCS build), with a "-dirty" suffix for
+// modified checkouts.
+func Revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Summary renders the one-line -version output for the named CLI:
+//
+//	diosload 0.8.0-dev (rev abc123def456, go1.22.1, targets fg3lite-4,fg3lite-8,scalar)
+func Summary(cli string) string {
+	return fmt.Sprintf("%s %s (rev %s, %s, targets %s)",
+		cli, Version, Revision(), runtime.Version(),
+		strings.Join(isa.TargetNames(), ","))
+}
+
+// MetricLabels returns the label set of the diospyros_build_info gauge.
+func MetricLabels() map[string]string {
+	return map[string]string{
+		"version":   Version,
+		"revision":  Revision(),
+		"goversion": runtime.Version(),
+		"targets":   strings.Join(isa.TargetNames(), ","),
+	}
+}

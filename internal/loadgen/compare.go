@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"diospyros/internal/bench"
+)
+
+// The serving SLO gate: diosload -compare -slo judges a fresh SoakResult
+// against a committed baseline (BENCH_SERVE_PR8.json) the same way the
+// diosbench cycle/memory gates judge Table 1 — shared bench.JudgeDelta
+// verdicts, a table, a one-line verdict, and a non-zero exit on regression.
+// Latency percentiles and throughput are judged relative to the baseline;
+// error and shed rates are judged against absolute budgets, because "we
+// errored 3x more than a near-zero baseline" is noise while "we errored on
+// more than 1% of requests" is an SLO.
+
+// SLO is the gate's tolerances.
+type SLO struct {
+	// LatencyTolerance is the allowed relative worsening of each gated
+	// latency percentile (0.25 = +25% fails). It also bounds relative
+	// throughput loss.
+	LatencyTolerance float64
+	// ErrorBudget is the maximum acceptable error rate
+	// ((errors+timeouts+aborts)/requests), absolute.
+	ErrorBudget float64
+	// ShedBudget is the maximum acceptable shed rate (sheds/requests),
+	// absolute.
+	ShedBudget float64
+	// LatencyFloorMS treats every percentile below it as "fast enough":
+	// both sides of a comparison are clamped up to the floor before
+	// judging, so sub-floor jitter (a cache-hit p50 moving from 0.5 ms to
+	// 3 ms under CPU contention) never trips the gate, while a genuine
+	// jump past the floor still does. 0 disables the floor.
+	LatencyFloorMS float64
+}
+
+// DefaultSLO is the gate CI runs: generous enough for shared-runner noise,
+// tight enough to catch a real serving regression.
+var DefaultSLO = SLO{LatencyTolerance: 0.50, ErrorBudget: 0.01, ShedBudget: 0.05, LatencyFloorMS: 5}
+
+// GateRow is one gated metric's verdict.
+type GateRow struct {
+	Metric   string
+	Baseline float64
+	Current  float64
+	Delta    float64
+	Status   bench.CompareStatus
+	// Budget marks rows judged against an absolute budget (shown in the
+	// baseline column) rather than a baseline value.
+	Budget bool
+}
+
+// Compare judges current against a JSON-encoded baseline SoakResult under
+// the SLO.
+func Compare(baseline []byte, current *SoakResult, slo SLO) ([]GateRow, error) {
+	var base SoakResult
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("bad baseline: %w", err)
+	}
+	if base.Schema != "" && base.Schema != SoakSchema {
+		return nil, fmt.Errorf("baseline schema %q, want %q", base.Schema, SoakSchema)
+	}
+	return CompareResults(&base, current, slo), nil
+}
+
+// CompareResults judges current against a parsed baseline under the SLO.
+func CompareResults(base, current *SoakResult, slo SLO) []GateRow {
+	rows := []GateRow{}
+	latency := []struct {
+		name string
+		b, c float64
+	}{
+		{"p50 latency ms", base.Latency.P50, current.Latency.P50},
+		{"p90 latency ms", base.Latency.P90, current.Latency.P90},
+		{"p99 latency ms", base.Latency.P99, current.Latency.P99},
+		{"p99.9 latency ms", base.Latency.P999, current.Latency.P999},
+	}
+	for _, m := range latency {
+		delta, status := bench.JudgeDelta(
+			max(m.b, slo.LatencyFloorMS), max(m.c, slo.LatencyFloorMS), slo.LatencyTolerance)
+		rows = append(rows, GateRow{
+			Metric: m.name, Baseline: m.b, Current: m.c, Delta: delta, Status: status,
+		})
+	}
+
+	// Throughput: higher is better, so the verdict flips.
+	delta, status := bench.JudgeDelta(base.ThroughputRPS, current.ThroughputRPS, slo.LatencyTolerance)
+	switch status {
+	case bench.CompareRegressed:
+		status = bench.CompareImproved
+	case bench.CompareImproved:
+		status = bench.CompareRegressed
+	}
+	rows = append(rows, GateRow{
+		Metric: "throughput rps", Baseline: base.ThroughputRPS,
+		Current: current.ThroughputRPS, Delta: delta, Status: status,
+	})
+
+	// Absolute budgets: the baseline column carries the budget itself.
+	for _, m := range []struct {
+		name   string
+		budget float64
+		rate   float64
+	}{
+		{"error rate", slo.ErrorBudget, current.ErrorRate},
+		{"shed rate", slo.ShedBudget, current.ShedRate},
+	} {
+		st := bench.CompareOK
+		if m.rate > m.budget {
+			st = bench.CompareRegressed
+		}
+		rows = append(rows, GateRow{
+			Metric: m.name, Baseline: m.budget, Current: m.rate,
+			Delta: m.rate - m.budget, Status: st, Budget: true,
+		})
+	}
+	return rows
+}
+
+// CountRegressions returns how many gate rows fail.
+func CountRegressions(rows []GateRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.Status == bench.CompareRegressed {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatGate renders the SLO verdict as a table, mirroring the diosbench
+// gates' output shape.
+func FormatGate(rows []GateRow, slo SLO) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== serving SLO check (latency %+.0f%%, error budget %.2f%%, shed budget %.2f%%) ==\n",
+		slo.LatencyTolerance*100, slo.ErrorBudget*100, slo.ShedBudget*100)
+	w := len("metric")
+	for _, r := range rows {
+		if len(r.Metric) > w {
+			w = len(r.Metric)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %9s  %s\n", w, "metric", "baseline", "current", "delta", "status")
+	for _, r := range rows {
+		base := fmt.Sprintf("%.3f", r.Baseline)
+		if r.Budget {
+			base = fmt.Sprintf("<=%.3f", r.Baseline)
+		}
+		delta := fmt.Sprintf("%+.1f%%", r.Delta*100)
+		if r.Budget {
+			delta = fmt.Sprintf("%+.3f", r.Delta)
+		} else if r.Status == bench.CompareNoBaseline {
+			delta = "-"
+		}
+		fmt.Fprintf(&b, "%-*s  %12s  %12.3f  %9s  %s\n", w, r.Metric, base, r.Current, delta, r.Status)
+	}
+	if n := CountRegressions(rows); n > 0 {
+		fmt.Fprintf(&b, "FAIL: %d serving metric(s) outside the SLO\n", n)
+	} else {
+		fmt.Fprintf(&b, "OK: serving SLO held\n")
+	}
+	return b.String()
+}

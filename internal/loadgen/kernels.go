@@ -1,0 +1,150 @@
+package loadgen
+
+// The built-in kernel mix: five kernels spanning the suite's compile-cost
+// range, from a ~1 ms 2x2 matmul to the ~60 ms Householder QR, so a soak
+// exercises both the fast path (where queueing and serialization dominate)
+// and real saturation work. Sources mirror testdata/*.dios but are embedded
+// so diosload runs standalone against any replica.
+
+// Kernel is one entry of the load mix.
+type Kernel struct {
+	// Name labels the kernel in results and reports.
+	Name string
+	// Source is the kernel in the imperative text language.
+	Source string
+}
+
+// BuiltinMix returns the default five-kernel mix, cheapest first.
+func BuiltinMix() []Kernel {
+	return []Kernel{
+		{Name: "matmul2x2", Source: matmul2x2Src},
+		{Name: "matmul2x3", Source: matmul2x3Src},
+		{Name: "dot8", Source: dot8Src},
+		{Name: "fir8", Source: fir8Src},
+		{Name: "qr3", Source: qr3Src},
+	}
+}
+
+// MixByNames resolves a comma-separated selection against the built-in
+// mix; see cmd/diosload's -kernels flag.
+func MixByNames(names []string) ([]Kernel, bool) {
+	byName := map[string]Kernel{}
+	for _, k := range BuiltinMix() {
+		byName[k.Name] = k
+	}
+	var out []Kernel
+	for _, n := range names {
+		k, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, k)
+	}
+	return out, len(out) > 0
+}
+
+const dot8Src = `
+kernel dot8(a[8], b[8]) -> (out[1]) {
+    out[0] = 0.0;
+    for i in 0..8 {
+        out[0] = out[0] + a[i] * b[i];
+    }
+}
+`
+
+const fir8Src = `
+kernel fir8(x[16], h[8]) -> (y[16]) {
+    for n in 0..16 {
+        y[n] = 0.0;
+        for k in 0..8 {
+            let j = n - k;
+            if j >= 0 {
+                y[n] = y[n] + h[k] * x[j];
+            }
+        }
+    }
+}
+`
+
+const matmul2x2Src = `
+kernel matmul2(a[2][2], b[2][2]) -> (c[2][2]) {
+    for i in 0..2 {
+        for j in 0..2 {
+            c[i][j] = 0.0;
+            for k in 0..2 {
+                c[i][j] = c[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+}
+`
+
+const matmul2x3Src = `
+kernel matmul(a[2][3], b[3][3]) -> (c[2][3]) {
+    for i in 0..2 {
+        for j in 0..3 {
+            c[i][j] = 0.0;
+            for k in 0..3 {
+                c[i][j] = c[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+}
+`
+
+const qr3Src = `
+kernel qrdecomp(a[3][3]) -> (q[3][3], r[3][3]) {
+    for i in 0..3 {
+        for j in 0..3 {
+            r[i][j] = a[i][j];
+            if i == j {
+                q[i][j] = 1.0;
+            } else {
+                q[i][j] = 0.0;
+            }
+        }
+    }
+    var v[3];
+    for k in 0..2 {
+        let norm2 = 0.0;
+        for i in k..3 {
+            norm2 = norm2 + r[i][k] * r[i][k];
+        }
+        let alpha = 0.0 - sgn(r[k][k]) * sqrt(norm2);
+        for i in 0..3 {
+            if i < k {
+                v[i] = 0.0;
+            } else if i == k {
+                v[i] = r[k][k] - alpha;
+            } else {
+                v[i] = r[i][k];
+            }
+        }
+        let vnorm2 = 0.0;
+        for i in k..3 {
+            vnorm2 = vnorm2 + v[i] * v[i];
+        }
+        let beta = 2.0 / vnorm2;
+        for j in 0..3 {
+            let dot = 0.0;
+            for i in k..3 {
+                dot = dot + v[i] * r[i][j];
+            }
+            let s = beta * dot;
+            for i in k..3 {
+                r[i][j] = r[i][j] - v[i] * s;
+            }
+        }
+        for i in 0..3 {
+            let dot = 0.0;
+            for j in k..3 {
+                dot = dot + q[i][j] * v[j];
+            }
+            let s = beta * dot;
+            for j in k..3 {
+                q[i][j] = q[i][j] - v[j] * s;
+            }
+        }
+    }
+}
+`

@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// HDR-style latency recorder: a log-linear histogram over microseconds with
+// 32 linear sub-buckets per power of two, so every recorded value lands in
+// a bucket within ~3% of its true magnitude. Recording is O(1) with no
+// allocation on the hot path, percentiles are reconstructed from bucket
+// midpoints, and two histograms merge bucket-wise — which is what lets the
+// collector keep one histogram per time window and still produce whole-run
+// percentiles at the end.
+
+const (
+	histSubBits  = 5 // 32 sub-buckets per power of two: ~3% worst-case error
+	histSubCount = 1 << histSubBits
+	// histBuckets covers 1 µs up to ~2^40 µs (~12 days) — far past any
+	// request deadline, so Record never clips a real latency.
+	histBuckets = histSubCount + (40-histSubBits)*histSubCount
+)
+
+// Hist is the latency histogram. The zero value is ready to use. Not
+// concurrency-safe: the collector goroutine owns each instance.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sumUS  uint64
+	maxUS  uint64
+	minUS  uint64
+}
+
+// histIndex maps a microsecond value to its bucket.
+func histIndex(us uint64) int {
+	if us < histSubCount {
+		return int(us)
+	}
+	exp := bits.Len64(us) - 1 // 2^exp <= us < 2^(exp+1)
+	sub := (us >> (exp - histSubBits)) - histSubCount
+	idx := histSubCount + (exp-histSubBits)*histSubCount + int(sub)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// histValue returns the midpoint microsecond value of a bucket — the
+// inverse of histIndex, used to reconstruct percentiles.
+func histValue(idx int) uint64 {
+	if idx < histSubCount {
+		return uint64(idx)
+	}
+	rel := idx - histSubCount
+	exp := rel/histSubCount + histSubBits
+	sub := uint64(rel % histSubCount)
+	lo := (histSubCount + sub) << (exp - histSubBits)
+	width := uint64(1) << (exp - histSubBits)
+	return lo + width/2
+}
+
+// Record folds one latency into the histogram.
+func (h *Hist) Record(d time.Duration) {
+	us := uint64(max(d.Microseconds(), 1))
+	h.counts[histIndex(us)]++
+	h.n++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+	if h.minUS == 0 || us < h.minUS {
+		h.minUS = us
+	}
+}
+
+// Count returns how many values were recorded.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Hist) Max() time.Duration { return time.Duration(h.maxUS) * time.Microsecond }
+
+// Mean returns the arithmetic mean of recorded values.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUS/h.n) * time.Microsecond
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) from bucket midpoints, or 0
+// for an empty histogram. The error is bounded by the bucket width, ~3%.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(histValue(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other into h bucket-wise.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sumUS += other.sumUS
+	if other.maxUS > h.maxUS {
+		h.maxUS = other.maxUS
+	}
+	if h.minUS == 0 || (other.minUS > 0 && other.minUS < h.minUS) {
+		h.minUS = other.minUS
+	}
+}
+
+// Summary flattens the histogram into the percentile set a SoakResult
+// reports, in milliseconds.
+func (h *Hist) Summary() LatencyMS {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencyMS{
+		P50:  ms(h.Quantile(0.50)),
+		P90:  ms(h.Quantile(0.90)),
+		P99:  ms(h.Quantile(0.99)),
+		P999: ms(h.Quantile(0.999)),
+		Max:  ms(h.Max()),
+		Mean: ms(h.Mean()),
+	}
+}

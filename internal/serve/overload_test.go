@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	diospyros "diospyros"
+	"diospyros/internal/kernel"
+	"diospyros/internal/telemetry"
+)
+
+// slowCompileFn returns a stub compile that takes d per call (respecting
+// cancellation) — fast enough to sustain load in a test, slow enough that a
+// small worker pool saturates under concurrent traffic.
+func slowCompileFn(d time.Duration) func(context.Context, string, diospyros.Options) (*diospyros.Result, error) {
+	return func(ctx context.Context, _ string, _ diospyros.Options) (*diospyros.Result, error) {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &diospyros.Result{
+			Kernel: &kernel.Lifted{Name: "stub"},
+			Trace:  &telemetry.Trace{},
+		}, nil
+	}
+}
+
+// TestSustainedOverloadShedsBounded drives far more concurrent traffic than
+// the worker pool and admission queue can hold, for long enough that the
+// queue churns many times over. Every request must resolve as either a
+// success or a 503-with-Retry-After — no hangs, no other statuses — with
+// real shedding observed, and the server must return to a quiescent
+// goroutine count once the storm drains (the leak check that -race runs
+// make meaningful).
+func TestSustainedOverloadShedsBounded(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 2, CacheBytes: -1})
+	s.compileFn = slowCompileFn(5 * time.Millisecond)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}}
+	const (
+		clients = 16
+		perGoro = 25 // 16×25 = 400 requests through a 2+2 capacity server
+	)
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				// Distinct sources via a comment so nothing coalesces even
+				// if a future change re-enables the cache here.
+				body := fmt.Sprintf("%s\n// storm %d-%d", dotprod, c, i)
+				resp, err := client.Post(ts.URL+"/compile", "text/plain", strings.NewReader(body))
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("503 without Retry-After")
+					}
+					shed.Add(1)
+				default:
+					t.Errorf("unexpected status %d under overload", resp.StatusCode)
+					other.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := ok.Load() + shed.Load() + other.Load()
+	if total != clients*perGoro {
+		t.Fatalf("accounted for %d of %d requests", total, clients*perGoro)
+	}
+	if ok.Load() == 0 {
+		t.Error("no request succeeded under overload")
+	}
+	if shed.Load() == 0 {
+		t.Error("no request was shed — the storm never overloaded the server")
+	}
+	if other.Load() != 0 {
+		t.Errorf("%d requests failed outside the success/shed contract", other.Load())
+	}
+
+	// The shed accounting on /metrics must match what clients saw.
+	metrics := scrape(t, ts.URL)
+	want := fmt.Sprintf(`diospyros_serve_rejected_total{reason="queue_full"} %d`, shed.Load())
+	if !strings.Contains(metrics, want+"\n") {
+		t.Errorf("rejected counter disagrees with observed sheds (%d):\n%s",
+			shed.Load(), metrics)
+	}
+
+	// Drain: after the storm, in-flight work finishes and per-request
+	// goroutines exit. Idle HTTP keep-alives are ours to close.
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.inFlight.Load() == 0 && s.queued.Load() == 0 &&
+			runtime.NumGoroutine() <= baseline+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not drain: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.GC() // nudge finalizer-held conns
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownCompletesInFlight mirrors the diosserve drain path:
+// SetReady(false) flips /readyz to 503 while an in-flight compile keeps
+// running, and http.Server.Shutdown returns only after that compile's
+// response has been delivered intact.
+func TestGracefulShutdownCompletesInFlight(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, CacheBytes: -1})
+	s.compileFn = func(ctx context.Context, _ string, _ diospyros.Options) (*diospyros.Result, error) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &diospyros.Result{
+			Kernel: &kernel.Lifted{Name: "stub"},
+			Trace:  &telemetry.Trace{},
+		}, nil
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	// An in-flight compile that outlives the shutdown call.
+	inflight := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(url+"/compile", "text/plain", strings.NewReader(dotprod))
+		if err != nil {
+			t.Errorf("in-flight compile failed across shutdown: %v", err)
+			inflight <- nil
+			return
+		}
+		inflight <- resp
+	}()
+	<-entered
+
+	// Drain exactly as cmd/diosserve does: readiness off, then Shutdown.
+	s.SetReady(false)
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", resp.StatusCode)
+	}
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- httpSrv.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the in-flight compile, and new connections
+	// must be refused while it does.
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned (%v) with a compile still in flight", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if _, err := http.Post(url+"/compile", "text/plain", strings.NewReader(dotprod)); err == nil {
+		t.Error("new request accepted during shutdown")
+	}
+
+	close(release)
+	r := <-inflight
+	if r == nil {
+		t.Fatal("in-flight response lost")
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("in-flight compile finished with %d across shutdown", r.StatusCode)
+	}
+	if err := <-shutDone; err != nil {
+		t.Errorf("Shutdown did not complete cleanly after drain: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"diospyros/internal/telemetry"
+)
+
+// Per-request phase breakdown: every POST /compile is decomposed into the
+// four phases a serving SLO cares about —
+//
+//   - queue-wait: time between admission and a worker slot (0 when a slot
+//     was free, and for cache hits, which never enter admission);
+//   - cache-lookup: time resolving the content-addressed cache (acquire,
+//     and for followers the coalesced wait rides under compile);
+//   - compile: time producing the compiled artifact for THIS request —
+//     the pipeline run on a miss/bypass, the lookup on a hit, the wait on
+//     a coalesced follower;
+//   - serialize: time marshalling the JSON response body.
+//
+// The breakdown is triple-exposed: as the X-Dios-Server-Timing response
+// header (Server-Timing syntax, durations in milliseconds), as the
+// diospyros_serve_phase_seconds{phase=...} histograms, and — compile only,
+// split by how the cache resolved it — as
+// diospyros_serve_compile_seconds{cache="hit"|"miss"|"coalesced"|"bypass"}.
+// Queue wait additionally gets its own X-Dios-Queue-Wait-Ms header and
+// diospyros_serve_queue_wait_seconds histogram, so shedding and admission
+// behavior are explainable from outside the process. diosload reads the
+// headers to build its per-phase soak breakdown.
+
+// cacheBypass labels compiles that never consulted the cache (cache
+// disabled, streaming, or non-cacheable options) in the
+// diospyros_serve_compile_seconds histogram.
+const cacheBypass = "bypass"
+
+// requestPhases accumulates one request's phase durations as the handler
+// moves through admission, cache, compile, and response marshalling.
+type requestPhases struct {
+	QueueWait   time.Duration
+	CacheLookup time.Duration
+	Compile     time.Duration
+	Serialize   time.Duration
+	// Outcome is how the cache resolved the request: "hit", "miss",
+	// "coalesced", or cacheBypass.
+	Outcome string
+}
+
+// timingHeader renders the X-Dios-Server-Timing value in Server-Timing
+// syntax: `queue;dur=0.012, cache;dur=0.004, compile;dur=412.331,
+// serialize;dur=0.187`, durations in milliseconds.
+func (p *requestPhases) timingHeader() string {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	parts := []string{
+		fmt.Sprintf("queue;dur=%.3f", ms(p.QueueWait)),
+		fmt.Sprintf("cache;dur=%.3f", ms(p.CacheLookup)),
+		fmt.Sprintf("compile;dur=%.3f", ms(p.Compile)),
+		fmt.Sprintf("serialize;dur=%.3f", ms(p.Serialize)),
+	}
+	return strings.Join(parts, ", ")
+}
+
+// queueWaitHeader renders the X-Dios-Queue-Wait-Ms value.
+func (p *requestPhases) queueWaitHeader() string {
+	return fmt.Sprintf("%.3f", float64(p.QueueWait)/float64(time.Millisecond))
+}
+
+// observe folds the finished request's phases into the live registry.
+func (p *requestPhases) observe(reg *telemetry.Registry) {
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"queue_wait", p.QueueWait},
+		{"cache_lookup", p.CacheLookup},
+		{"compile", p.Compile},
+		{"serialize", p.Serialize},
+	} {
+		reg.Observe("diospyros_serve_phase_seconds",
+			"Per-request latency by phase (queue_wait, cache_lookup, compile, serialize).",
+			map[string]string{"phase": ph.name}, nil, ph.d.Seconds())
+	}
+	reg.Observe("diospyros_serve_queue_wait_seconds",
+		"Admission-queue wait per request.", nil, nil, p.QueueWait.Seconds())
+	outcome := p.Outcome
+	if outcome == "" {
+		outcome = cacheBypass
+	}
+	reg.Observe("diospyros_serve_compile_seconds",
+		"Time producing the compiled artifact per request, by cache outcome: "+
+			"the pipeline run for miss/bypass, the lookup for a hit, the coalesced wait for a follower.",
+		map[string]string{"cache": outcome}, nil, p.Compile.Seconds())
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// timingPattern matches the Server-Timing-style header value:
+// queue;dur=0.012, cache;dur=0.004, compile;dur=412.331, serialize;dur=0.187
+var timingPattern = regexp.MustCompile(
+	`^queue;dur=\d+\.\d{3}, cache;dur=\d+\.\d{3}, compile;dur=\d+\.\d{3}, serialize;dur=\d+\.\d{3}$`)
+
+// TestPhaseBreakdownOnCompile is the tentpole's serve-side acceptance
+// check: a plain compile carries the full phase breakdown in its response
+// headers, and the phase histograms land on /metrics.
+func TestPhaseBreakdownOnCompile(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheBytes: -1})
+
+	resp, cr := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, cr.Error)
+	}
+	timing := resp.Header.Get("X-Dios-Server-Timing")
+	if !timingPattern.MatchString(timing) {
+		t.Fatalf("X-Dios-Server-Timing = %q, want queue/cache/compile/serialize durs", timing)
+	}
+	// The compile phase of a real (uncached) compile is the dominant span:
+	// parse it back out and sanity-check it is non-zero.
+	var compileMS float64
+	for _, part := range strings.Split(timing, ", ") {
+		if rest, ok := strings.CutPrefix(part, "compile;dur="); ok {
+			compileMS, _ = strconv.ParseFloat(rest, 64)
+		}
+	}
+	if compileMS <= 0 {
+		t.Errorf("compile phase %.3f ms, want > 0 (header %q)", compileMS, timing)
+	}
+	if qw := resp.Header.Get("X-Dios-Queue-Wait-Ms"); qw == "" {
+		t.Error("missing X-Dios-Queue-Wait-Ms header")
+	} else if _, err := strconv.ParseFloat(qw, 64); err != nil {
+		t.Errorf("X-Dios-Queue-Wait-Ms = %q: %v", qw, err)
+	}
+
+	metrics := scrape(t, ts.URL)
+	for _, want := range []string{
+		`diospyros_serve_phase_seconds_count{phase="queue_wait"} 1`,
+		`diospyros_serve_phase_seconds_count{phase="cache_lookup"} 1`,
+		`diospyros_serve_phase_seconds_count{phase="compile"} 1`,
+		`diospyros_serve_phase_seconds_count{phase="serialize"} 1`,
+		`diospyros_serve_queue_wait_seconds_count 1`,
+		`diospyros_serve_compile_seconds_count{cache="bypass"} 1`,
+	} {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("missing %q in metrics:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestPhaseCacheOutcomeLabels pins the satellite: the serve compile-latency
+// histogram is split by cache outcome, so sub-millisecond cache hits stop
+// masquerading as implausibly fast compiles.
+func TestPhaseCacheOutcomeLabels(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// First compile: a miss that runs the pipeline.
+	resp1, _ := postCompile(t, ts.URL, dotprod, "text/plain")
+	if got := resp1.Header.Get("X-Dios-Cache"); got != "miss" {
+		t.Fatalf("first compile X-Dios-Cache = %q", got)
+	}
+	// Second compile: a hit whose "compile" phase is the cache lookup.
+	resp2, _ := postCompile(t, ts.URL, dotprod, "text/plain")
+	if got := resp2.Header.Get("X-Dios-Cache"); got != "hit" {
+		t.Fatalf("second compile X-Dios-Cache = %q", got)
+	}
+	timing := resp2.Header.Get("X-Dios-Server-Timing")
+	if !timingPattern.MatchString(timing) {
+		t.Fatalf("cached response X-Dios-Server-Timing = %q", timing)
+	}
+	if qw := resp2.Header.Get("X-Dios-Queue-Wait-Ms"); qw != "0.000" {
+		t.Errorf("cache hit X-Dios-Queue-Wait-Ms = %q, want 0.000 (hits skip admission)", qw)
+	}
+
+	metrics := scrape(t, ts.URL)
+	for _, want := range []string{
+		`diospyros_serve_compile_seconds_count{cache="miss"} 1`,
+		`diospyros_serve_compile_seconds_count{cache="hit"} 1`,
+	} {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("missing %q in metrics:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, `diospyros_serve_compile_seconds_count{cache="bypass"}`) {
+		t.Error("cache-mediated compiles must not count as bypass")
+	}
+}
+
+// TestPhaseQueueWaitMeasuredWhenQueued parks a request in the admission
+// queue behind a blocked worker and asserts the recorded queue wait is the
+// real wait, not zero.
+func TestPhaseQueueWaitMeasuredWhenQueued(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Config{Workers: 1, CacheBytes: -1})
+	s.compileFn = blockingCompileFn(entered)
+
+	// Occupy the only worker slot with a compile that blocks until its
+	// request is cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/compile",
+		strings.NewReader(dotprod))
+	go func() { _, _ = http.DefaultClient.Do(req) }()
+	<-entered
+
+	// This request queues behind it (the cache is off, so the identical
+	// source cannot coalesce onto the in-flight compile).
+	done := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := postCompile(t, ts.URL, dotprod, "text/plain")
+		done <- resp
+	}()
+
+	// Let it genuinely wait, then free the worker; the stub's later calls
+	// complete instantly, so all remaining latency is queue wait.
+	time.Sleep(120 * time.Millisecond)
+	cancel()
+
+	resp := <-done
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued request status = %d", resp.StatusCode)
+	}
+	qw, err := strconv.ParseFloat(resp.Header.Get("X-Dios-Queue-Wait-Ms"), 64)
+	if err != nil {
+		t.Fatalf("bad queue-wait header: %v", err)
+	}
+	if qw < 50 {
+		t.Errorf("queued request reported %.3f ms queue wait, want >= 50ms", qw)
+	}
+}
+
+// TestQueueWaitHeaderOnShed asserts the shed path carries the queue-wait
+// header too: a 503 that can show its wait is explainable from outside.
+func TestQueueWaitHeaderOnShed(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1, CacheBytes: -1})
+	s.compileFn = blockingCompileFn(entered)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/compile",
+		strings.NewReader(dotprod))
+	go func() { _, _ = http.DefaultClient.Do(req) }()
+	<-entered
+
+	resp, _ := postCompile(t, ts.URL, dotprod, "text/plain")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if _, err := strconv.ParseFloat(resp.Header.Get("X-Dios-Queue-Wait-Ms"), 64); err != nil {
+		t.Errorf("shed response X-Dios-Queue-Wait-Ms = %q: %v",
+			resp.Header.Get("X-Dios-Queue-Wait-Ms"), err)
+	}
+	if !strings.Contains(scrape(t, ts.URL), "diospyros_serve_queue_wait_seconds_count 1\n") {
+		t.Error("shed request missing from the queue-wait histogram")
+	}
+}
+
+// TestBuildInfoGauge asserts the build-identity gauge is on /metrics from
+// boot with its full label set.
+func TestBuildInfoGauge(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	metrics := scrape(t, ts.URL)
+	if !strings.Contains(metrics, "diospyros_build_info{") {
+		t.Fatalf("diospyros_build_info missing:\n%s", metrics)
+	}
+	line := ""
+	for _, l := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(l, "diospyros_build_info{") {
+			line = l
+		}
+	}
+	for _, label := range []string{"version=", "revision=", "goversion=", "targets="} {
+		if !strings.Contains(line, label) {
+			t.Errorf("build info line %q missing %s label", line, label)
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("build info gauge %q should read 1", line)
+	}
+}

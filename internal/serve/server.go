@@ -21,7 +21,13 @@
 //     identical normalized source and output-affecting options are served
 //     from a byte-budgeted LRU, concurrent identical requests coalesce
 //     into one compile, and the X-Dios-Cache response header reports the
-//     outcome (hit, miss, coalesced).
+//     outcome (hit, miss, coalesced);
+//   - a per-request phase breakdown (phases.go): queue-wait, cache-lookup,
+//     compile, and serialize spans on every compile, exposed three ways —
+//     the diospyros_serve_phase_seconds{phase} and
+//     diospyros_serve_compile_seconds{cache} histograms, the
+//     X-Dios-Server-Timing response header, and the X-Dios-Queue-Wait-Ms
+//     header feeding the diosload soak harness.
 package serve
 
 import (
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	diospyros "diospyros"
+	"diospyros/internal/buildinfo"
 	"diospyros/internal/egraph"
 	"diospyros/internal/telemetry"
 )
@@ -163,6 +170,11 @@ func New(cfg Config) *Server {
 	}
 	s.ready.Store(true)
 	s.reg.GaugeSet("diospyros_serve_workers", "Configured worker slots.", nil, float64(cfg.Workers))
+	// The build-info gauge ties every scrape (and thus every soak result)
+	// to the exact build serving it.
+	s.reg.GaugeSet("diospyros_build_info",
+		"Build identity of this server; always 1, the labels carry the information.",
+		buildinfo.MetricLabels(), 1)
 	return s
 }
 
@@ -319,6 +331,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, id, err.Error())
 		return
 	}
+	ph := &requestPhases{}
 
 	// Content-addressed compile cache (cache.go): a hit or a coalesced
 	// result answers before admission, without taking a worker slot. A miss
@@ -332,14 +345,22 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	)
 	if s.cache != nil && !wantsStream(r) && cacheableRequest(opts) {
 		flightKey = compileCacheKey(src, opts)
+		lookupStart := time.Now()
 		res, fl, state := s.cache.acquire(flightKey)
+		ph.CacheLookup = time.Since(lookupStart)
 		switch state {
 		case cacheHit:
-			s.serveCached(w, r, id, res, "hit")
+			// A hit's "compile" latency is the lookup itself — what the
+			// cache-outcome histogram label makes visible.
+			ph.Compile = ph.CacheLookup
+			s.serveCached(w, r, id, res, "hit", ph)
 			return
 		case cacheFollower:
-			if res := fl.wait(ctx); res != nil {
-				s.serveCached(w, r, id, res, "coalesced")
+			waitStart := time.Now()
+			res := fl.wait(ctx)
+			ph.Compile = time.Since(waitStart)
+			if res != nil {
+				s.serveCached(w, r, id, res, "coalesced", ph)
 				return
 			}
 			if ctx.Err() != nil {
@@ -348,6 +369,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			// The leader failed; fall through and compile independently.
+			ph.Compile = 0
 		case cacheLeader:
 			flight = fl
 			defer func() {
@@ -360,22 +382,31 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 					float64(s.cache.sizeBytes()))
 			}()
 		}
+		ph.Outcome = "miss"
 		w.Header().Set("X-Dios-Cache", "miss")
 		s.cacheCount("misses", 1)
 	}
 
 	// Admission: take a free worker slot if one is available, otherwise
 	// queue up to QueueDepth waiters and shed the rest with 503, watching
-	// for the client to give up while queued.
+	// for the client to give up while queued. The wait is recorded on
+	// every outcome — including sheds, so a client holding a 503 can see
+	// the queue was genuinely full rather than slow.
+	admission := time.Now()
 	select {
 	case s.slots <- struct{}{}:
+		ph.QueueWait = time.Since(admission)
 	default:
 		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 			s.queued.Add(-1)
+			ph.QueueWait = time.Since(admission)
 			s.reg.CounterAdd("diospyros_serve_rejected_total",
 				"Requests shed by admission control.",
 				map[string]string{"reason": "queue_full"}, 1)
+			s.reg.Observe("diospyros_serve_queue_wait_seconds",
+				"Admission-queue wait per request.", nil, nil, ph.QueueWait.Seconds())
 			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Dios-Queue-Wait-Ms", ph.queueWaitHeader())
 			s.writeError(w, http.StatusServiceUnavailable, id, "compile queue full")
 			return
 		}
@@ -384,15 +415,22 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		case s.slots <- struct{}{}:
 			s.queued.Add(-1)
 			s.setQueueGauge()
+			ph.QueueWait = time.Since(admission)
 		case <-ctx.Done():
 			s.queued.Add(-1)
 			s.setQueueGauge()
+			ph.QueueWait = time.Since(admission)
+			s.reg.Observe("diospyros_serve_queue_wait_seconds",
+				"Admission-queue wait per request.", nil, nil, ph.QueueWait.Seconds())
 			s.countCancelled("queued")
 			s.writeError(w, httpStatusClientClosedRequest, id, "client went away while queued")
 			return
 		}
 	}
 	defer func() { <-s.slots }() // release the worker slot on every path
+	// The wait is known before any response bytes flow, so even the SSE
+	// path (which commits its headers before compiling) can carry it.
+	w.Header().Set("X-Dios-Queue-Wait-Ms", ph.queueWaitHeader())
 
 	s.reg.GaugeAdd("diospyros_serve_compiles_in_flight",
 		"Compiles currently executing.", nil, 1)
@@ -418,12 +456,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer stopWatch()
 
 	if wantsStream(r) && s.streamCompile(w, r, cctx, id, src, opts) {
+		// SSE commits its headers before the compile runs, so the stream
+		// carries the queue wait (set above) but no full phase header; the
+		// queue-wait histogram still sees the request.
+		s.reg.Observe("diospyros_serve_queue_wait_seconds",
+			"Admission-queue wait per request.", nil, nil, ph.QueueWait.Seconds())
 		return
 	}
 
 	log.Info("compile start", "bytes", len(src))
 	started := time.Now()
 	res, err := s.compileFn(cctx, src, opts)
+	ph.Compile = time.Since(started)
 	stopWatch()
 
 	var trace *telemetry.Trace
@@ -434,19 +478,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		resp, code := s.classifyError(r, id, err, trace)
-		s.writeJSON(w, code, resp)
+		s.writePhased(w, code, resp, ph)
 		return
 	}
 	flightRes = res // publish to the cache and any coalesced followers
 	resp := s.successResponse(r, id, res)
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writePhased(w, http.StatusOK, resp, ph)
 }
 
 // serveCached answers a compile request from a cached Result, marking the
 // response with how the cache resolved it ("hit" or "coalesced"). Cached
-// responses skip trace aggregation — the pipeline did not run.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, id string, res *diospyros.Result, how string) {
+// responses skip trace aggregation — the pipeline did not run — but still
+// carry the phase breakdown, whose compile phase is the lookup (hit) or
+// the coalesced wait (follower).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, id string, res *diospyros.Result, how string, ph *requestPhases) {
+	ph.Outcome = how
 	w.Header().Set("X-Dios-Cache", how)
+	w.Header().Set("X-Dios-Queue-Wait-Ms", ph.queueWaitHeader())
 	if how == "hit" {
 		s.cacheCount("hits", 1)
 	} else {
@@ -454,7 +502,28 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, id string, 
 	}
 	telemetry.LoggerFrom(r.Context()).Info("compile served from cache",
 		"kernel", res.Kernel.Name, "cache", how)
-	s.writeJSON(w, http.StatusOK, s.successResponse(r, id, res))
+	s.writePhased(w, http.StatusOK, s.successResponse(r, id, res), ph)
+}
+
+// writePhased is writeJSON with the per-request phase breakdown attached:
+// it marshals the response (timing the serialize phase), stamps the
+// X-Dios-Server-Timing header, folds the phases into the live histograms,
+// and writes the body. Every compile response that got far enough to have
+// phases funnels through here.
+func (s *Server) writePhased(w http.ResponseWriter, code int, v any, ph *requestPhases) {
+	serStart := time.Now()
+	body, err := json.MarshalIndent(v, "", "  ")
+	ph.Serialize = time.Since(serStart)
+	if err != nil { // a Trace that cannot marshal; vanishingly unlikely
+		s.writeError(w, http.StatusInternalServerError, "", "response marshalling failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dios-Server-Timing", ph.timingHeader())
+	ph.observe(s.reg)
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte("\n"))
 }
 
 // cacheCount bumps one of the diospyros_serve_cache_*_total counters.

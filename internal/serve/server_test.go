@@ -443,10 +443,10 @@ func TestBadRequests(t *testing.T) {
 	for _, c := range []struct {
 		body, ct string
 	}{
-		{"", "text/plain"},                   // empty body
-		{"{not json", "application/json"},    // malformed JSON
+		{"", "text/plain"},                     // empty body
+		{"{not json", "application/json"},      // malformed JSON
 		{`{"source": ""}`, "application/json"}, // missing source
-		{"kernel oops(", "text/plain"},       // parse error
+		{"kernel oops(", "text/plain"},         // parse error
 	} {
 		resp, cr := postCompile(t, ts.URL, c.body, c.ct)
 		if resp.StatusCode != http.StatusBadRequest {

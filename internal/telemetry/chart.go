@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+)
+
+// Reusable SVG line-chart machinery, shared by every HTML report this
+// package renders (the -report compile report) and by other packages'
+// reports (the diosload soak report embeds charts through ChartHTML).
+// All geometry is computed in Go; the chart.tmpl.html partial only places
+// precomputed coordinates, so rendered charts need no JavaScript — hover
+// detail rides on SVG <title> tooltips.
+
+// LineChart is the template-facing model of one chart: canvas and plot
+// geometry, axis labels, grid lines, and one or more series of
+// pre-projected points. Build one with NewLineChart/AddSeries.
+type LineChart struct {
+	W, H             int
+	PlotX, PlotY     int
+	PlotW, PlotH     int
+	Series           []LineSeries
+	YMax, YMid, YMin string
+	XMin, XMax       string
+	XLabel           string
+	GridYs           []int
+	Legend           bool
+}
+
+// LineSeries is one polyline of a LineChart, with optional per-point dots
+// carrying tooltip titles and a direct label at the last point.
+type LineSeries struct {
+	Name   string
+	Class  string // CSS class carrying the series color (s1, s2, s3)
+	Points string // SVG polyline points
+	Dots   []ChartDot
+	Last   string // last value, for the direct label
+	LastX  int
+	LastY  int
+}
+
+// ChartDot is one hoverable point of a series.
+type ChartDot struct {
+	X, Y  int
+	Title string
+}
+
+// ChartBuilder pairs the template-facing LineChart with the value scales
+// used while plotting points into it.
+type ChartBuilder struct {
+	*LineChart
+	xMin, xMax, yMin, yMax float64
+}
+
+// chart canvas constants, shared by every line chart.
+const (
+	chartW  = 680
+	chartH  = 220
+	padL    = 56
+	padR    = 76 // room for the direct label on the last point
+	padT    = 14
+	padB    = 26
+	maxDots = 48 // beyond this, dots crowd; the polyline alone reads better
+)
+
+// NewLineChart starts a chart whose x axis spans xs (which must be
+// non-empty and ascending; typically iteration numbers or seconds).
+func NewLineChart(xs []float64) *ChartBuilder {
+	c := &ChartBuilder{LineChart: &LineChart{
+		W: chartW, H: chartH,
+		PlotX: padL, PlotY: padT,
+		PlotW: chartW - padL - padR, PlotH: chartH - padT - padB,
+	}}
+	c.xMin, c.xMax = xs[0], xs[len(xs)-1]
+	if c.xMax == c.xMin {
+		c.xMax = c.xMin + 1
+	}
+	c.XMin = trimFloat(c.xMin)
+	c.XMax = trimFloat(c.xMax)
+	return c
+}
+
+// SetYRange fixes the y axis to [lo, hi] and places the grid lines; call it
+// before AddSeries.
+func (c *ChartBuilder) SetYRange(lo, hi float64) {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	c.yMin, c.yMax = lo, hi
+	c.YMax = compactNum(hi)
+	c.YMid = compactNum(lo + (hi-lo)/2)
+	c.YMin = compactNum(lo)
+	c.GridYs = []int{
+		c.PlotY,
+		c.PlotY + c.PlotH/2,
+		c.PlotY + c.PlotH,
+	}
+}
+
+// AddSeries projects (xs, ys) into the plot area as one polyline. class
+// names the CSS color class (s1, s2, s3); title renders the tooltip for
+// point i.
+func (c *ChartBuilder) AddSeries(name, class string, xs, ys []float64, title func(int) string) {
+	sx := func(x float64) int {
+		return c.PlotX + int(float64(c.PlotW)*(x-c.xMin)/(c.xMax-c.xMin))
+	}
+	sy := func(y float64) int {
+		return c.PlotY + c.PlotH - int(float64(c.PlotH)*(y-c.yMin)/(c.yMax-c.yMin))
+	}
+	var b strings.Builder
+	s := LineSeries{Name: name, Class: class}
+	for i := range xs {
+		x, y := sx(xs[i]), sy(ys[i])
+		fmt.Fprintf(&b, "%d,%d ", x, y)
+		if len(xs) <= maxDots {
+			s.Dots = append(s.Dots, ChartDot{X: x, Y: y, Title: title(i)})
+		}
+	}
+	s.Points = strings.TrimSpace(b.String())
+	s.Last = compactNum(ys[len(ys)-1])
+	s.LastX = sx(xs[len(xs)-1]) + 6
+	s.LastY = sy(ys[len(ys)-1]) + 4
+	c.Series = append(c.Series, s)
+}
+
+// ChartHTML renders one chart through the shared linechart partial,
+// returning markup another template may embed verbatim. This is how
+// reports outside this package (the diosload soak report) reuse the chart
+// machinery without duplicating its SVG template.
+func ChartHTML(c *LineChart) (template.HTML, error) {
+	if c == nil {
+		return "", nil
+	}
+	var b strings.Builder
+	if err := reportTmpl.ExecuteTemplate(&b, "linechart", c); err != nil {
+		return "", err
+	}
+	return template.HTML(b.String()), nil
+}
+
+// ChartCSS is the style block the linechart partial assumes: series
+// colors, grid strokes, and the legend chips, in both light and dark
+// schemes. Reports embedding ChartHTML output include it once in their
+// <style>.
+const ChartCSS = `
+  svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; fill: var(--text-muted); }
+  svg text.dl { fill: var(--text-secondary); font-size: 11px; }
+  polyline.s1 { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+  polyline.s2 { fill: none; stroke: var(--series-2); stroke-width: 2; stroke-linejoin: round; }
+  polyline.s3 { fill: none; stroke: var(--series-3); stroke-width: 2; stroke-linejoin: round; }
+  circle.s1 { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2; }
+  circle.s2 { fill: var(--series-2); stroke: var(--surface-1); stroke-width: 2; }
+  circle.s3 { fill: var(--series-3); stroke: var(--surface-1); stroke-width: 2; }
+  line.grid { stroke: var(--grid); stroke-width: 1; }
+  line.axis { stroke: var(--axis); stroke-width: 1; }
+  .legend { display: flex; gap: 16px; margin: 4px 0 0; font-size: 12px; color: var(--text-secondary); }
+  .legend .chip { display: inline-block; width: 10px; height: 10px; border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+  .chip.s1 { background: var(--series-1); }
+  .chip.s2 { background: var(--series-2); }
+  .chip.s3 { background: var(--series-3); }
+`

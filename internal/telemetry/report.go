@@ -55,15 +55,22 @@ type ReportData struct {
 	Generated time.Time
 }
 
-//go:embed report.tmpl.html
+//go:embed report.tmpl.html chart.tmpl.html
 var reportFS embed.FS
 
-var reportTmpl = template.Must(template.New("report.tmpl.html").Funcs(template.FuncMap{
+// ChartTemplateFuncs are the helpers the linechart partial (and the
+// templates embedding it) need; reports outside this package register the
+// same map so shared geometry helpers behave identically everywhere.
+var ChartTemplateFuncs = template.FuncMap{
 	"add":  func(a, b int) int { return a + b },
 	"sub":  func(a, b int) int { return a - b },
 	"half": func(a int) int { return a / 2 },
 	"addf": func(a, b float64) float64 { return a + b },
-}).ParseFS(reportFS, "report.tmpl.html"))
+}
+
+var reportTmpl = template.Must(template.New("report.tmpl.html").
+	Funcs(ChartTemplateFuncs).
+	ParseFS(reportFS, "report.tmpl.html", "chart.tmpl.html"))
 
 // RenderReport writes the self-contained HTML report for d to w.
 func RenderReport(w io.Writer, d ReportData) error {
@@ -86,9 +93,9 @@ type reportView struct {
 
 	Stages []stageRow
 
-	Trajectory *lineChart // nodes & classes per iteration
-	CostCurve  *lineChart // best extractable cost per iteration
-	MemCurve   *lineChart // e-graph logical footprint per iteration
+	Trajectory *LineChart // nodes & classes per iteration
+	CostCurve  *LineChart // best extractable cost per iteration
+	MemCurve   *LineChart // e-graph logical footprint per iteration
 
 	Rules        []ruleRow
 	Bans         []banRow
@@ -116,33 +123,6 @@ type stageRow struct {
 	Duration string
 	Alloc    string
 	SharePct float64 // of total duration, for the inline bar
-}
-
-type lineChart struct {
-	W, H             int
-	PlotX, PlotY     int
-	PlotW, PlotH     int
-	Series           []lineSeries
-	YMax, YMid, YMin string
-	XMin, XMax       string
-	XLabel           string
-	GridYs           []int
-	Legend           bool
-}
-
-type lineSeries struct {
-	Name   string
-	Class  string // CSS class carrying the series color
-	Points string // SVG polyline points
-	Dots   []chartDot
-	Last   string // last value, for the direct label
-	LastX  int
-	LastY  int
-}
-
-type chartDot struct {
-	X, Y  int
-	Title string
 }
 
 type ruleRow struct {
@@ -355,18 +335,7 @@ func buildReportView(d ReportData) *reportView {
 	return v
 }
 
-// chart canvas constants, shared by both line charts.
-const (
-	chartW  = 680
-	chartH  = 220
-	padL    = 56
-	padR    = 76 // room for the direct label on the last point
-	padT    = 14
-	padB    = 26
-	maxDots = 48 // beyond this, dots crowd; the polyline alone reads better
-)
-
-func buildTrajectory(gs []IterationGauge) *lineChart {
+func buildTrajectory(gs []IterationGauge) *LineChart {
 	if len(gs) < 2 {
 		return nil
 	}
@@ -378,21 +347,21 @@ func buildTrajectory(gs []IterationGauge) *lineChart {
 		nodes[i] = float64(g.Nodes)
 		classes[i] = float64(g.Classes)
 	}
-	c := newLineChart(xs)
+	c := NewLineChart(xs)
 	c.Legend = true
 	c.XLabel = "iteration"
 	yMax := maxOf(maxOf(0, nodes...), classes...)
-	c.setYRange(0, yMax)
-	c.addSeries("e-nodes", "s1", xs, nodes, func(i int) string {
+	c.SetYRange(0, yMax)
+	c.AddSeries("e-nodes", "s1", xs, nodes, func(i int) string {
 		return fmt.Sprintf("iteration %d: %d e-nodes", gs[i].Iteration, gs[i].Nodes)
 	})
-	c.addSeries("e-classes", "s2", xs, classes, func(i int) string {
+	c.AddSeries("e-classes", "s2", xs, classes, func(i int) string {
 		return fmt.Sprintf("iteration %d: %d e-classes", gs[i].Iteration, gs[i].Classes)
 	})
-	return c.lineChart
+	return c.LineChart
 }
 
-func buildCostCurve(pts []CostPoint) *lineChart {
+func buildCostCurve(pts []CostPoint) *LineChart {
 	if len(pts) < 2 {
 		return nil
 	}
@@ -402,19 +371,19 @@ func buildCostCurve(pts []CostPoint) *lineChart {
 		xs[i] = float64(p.Iteration)
 		ys[i] = p.Cost
 	}
-	c := newLineChart(xs)
+	c := NewLineChart(xs)
 	c.XLabel = "iteration"
-	c.setYRange(0, maxOf(0, ys...))
-	c.addSeries("best cost", "s1", xs, ys, func(i int) string {
+	c.SetYRange(0, maxOf(0, ys...))
+	c.AddSeries("best cost", "s1", xs, ys, func(i int) string {
 		return fmt.Sprintf("iteration %d: cost %s", pts[i].Iteration, trimFloat(pts[i].Cost))
 	})
-	return c.lineChart
+	return c.LineChart
 }
 
 // buildMemCurve plots the e-graph's logical footprint per iteration, from
 // the per-iteration gauges. Gauges without a byte reading (traces recorded
 // before footprint accounting) are skipped; the chart needs two readings.
-func buildMemCurve(gs []IterationGauge) *lineChart {
+func buildMemCurve(gs []IterationGauge) *LineChart {
 	var xs, ys []float64
 	var kept []IterationGauge
 	for _, g := range gs {
@@ -427,13 +396,13 @@ func buildMemCurve(gs []IterationGauge) *lineChart {
 	if len(xs) < 2 {
 		return nil
 	}
-	c := newLineChart(xs)
+	c := NewLineChart(xs)
 	c.XLabel = "iteration"
-	c.setYRange(0, maxOf(0, ys...))
-	c.addSeries("e-graph bytes", "s1", xs, ys, func(i int) string {
+	c.SetYRange(0, maxOf(0, ys...))
+	c.AddSeries("e-graph bytes", "s1", xs, ys, func(i int) string {
 		return fmt.Sprintf("iteration %d: %s", kept[i].Iteration, fmtBytes(kept[i].Bytes))
 	})
-	return c.lineChart
+	return c.LineChart
 }
 
 func buildMemoryView(m *MemoryTrace) *memoryView {
@@ -462,66 +431,6 @@ func buildMemoryView(m *MemoryTrace) *memoryView {
 		})
 	}
 	return v
-}
-
-// chartBuilder pairs the template-facing lineChart with the value scales
-// used while plotting points into it.
-type chartBuilder struct {
-	*lineChart
-	xMin, xMax, yMin, yMax float64
-}
-
-func newLineChart(xs []float64) *chartBuilder {
-	c := &chartBuilder{lineChart: &lineChart{
-		W: chartW, H: chartH,
-		PlotX: padL, PlotY: padT,
-		PlotW: chartW - padL - padR, PlotH: chartH - padT - padB,
-	}}
-	c.xMin, c.xMax = xs[0], xs[len(xs)-1]
-	if c.xMax == c.xMin {
-		c.xMax = c.xMin + 1
-	}
-	c.XMin = trimFloat(c.xMin)
-	c.XMax = trimFloat(c.xMax)
-	return c
-}
-
-func (c *chartBuilder) setYRange(lo, hi float64) {
-	if hi <= lo {
-		hi = lo + 1
-	}
-	c.yMin, c.yMax = lo, hi
-	c.YMax = compactNum(hi)
-	c.YMid = compactNum(lo + (hi-lo)/2)
-	c.YMin = compactNum(lo)
-	c.GridYs = []int{
-		c.PlotY,
-		c.PlotY + c.PlotH/2,
-		c.PlotY + c.PlotH,
-	}
-}
-
-func (c *chartBuilder) addSeries(name, class string, xs, ys []float64, title func(int) string) {
-	sx := func(x float64) int {
-		return c.PlotX + int(float64(c.PlotW)*(x-c.xMin)/(c.xMax-c.xMin))
-	}
-	sy := func(y float64) int {
-		return c.PlotY + c.PlotH - int(float64(c.PlotH)*(y-c.yMin)/(c.yMax-c.yMin))
-	}
-	var b strings.Builder
-	s := lineSeries{Name: name, Class: class}
-	for i := range xs {
-		x, y := sx(xs[i]), sy(ys[i])
-		fmt.Fprintf(&b, "%d,%d ", x, y)
-		if len(xs) <= maxDots {
-			s.Dots = append(s.Dots, chartDot{X: x, Y: y, Title: title(i)})
-		}
-	}
-	s.Points = strings.TrimSpace(b.String())
-	s.Last = compactNum(ys[len(ys)-1])
-	s.LastX = sx(xs[len(xs)-1]) + 6
-	s.LastY = sy(ys[len(ys)-1]) + 4
-	c.Series = append(c.Series, s)
 }
 
 func buildExtractionView(e *ExtractionTrace) *extractionView {

@@ -69,10 +69,10 @@ func TestRenderReport(t *testing.T) {
 		"Rule attribution",
 		"vec-mac",
 		"Backoff ban timeline",
-		"assoc-add-l",            // the banned rule is named
-		"Extraction decisions",   // decision section present
-		"(VecMAC /3)",            // winner
-		"(VecAdd /2)",            // runner-up with cost breakdown
+		"assoc-add-l",          // the banned rule is named
+		"Extraction decisions", // decision section present
+		"(VecMAC /3)",          // winner
+		"(VecAdd /2)",          // runner-up with cost breakdown
 		"Simulator cycle waterfall",
 		"VMAC",
 		"</html>",

@@ -52,7 +52,7 @@ type compileState struct {
 	ir         *vir.Program // after lower
 	cText      string       // after codegen
 	program    *isa.Program
-	validated bool // after validate
+	validated  bool // after validate
 }
 
 // compilePipeline assembles the paper's five-stage pipeline. The lift
