@@ -1,0 +1,175 @@
+package diff
+
+import (
+	"bytes"
+	_ "embed"
+	"fmt"
+	"html/template"
+	"time"
+
+	"diospyros/internal/telemetry"
+)
+
+// The side-by-side HTML autopsy: a self-contained page for one Diff —
+// verdict banner, attributed divergence list, overlaid best-cost and
+// e-graph-size trajectories (baseline vs current on one chart), the stage
+// waterfall, and the diverged rule/extraction/memory/cycle tables. Charts
+// come from the shared telemetry line-chart machinery (telemetry.ChartHTML)
+// so this report, the compile report, and the soak report render from one
+// SVG template.
+
+//go:embed diff.tmpl.html
+var diffTmplSrc string
+
+var diffTmpl = template.Must(template.New("diff").
+	Funcs(telemetry.ChartTemplateFuncs).
+	Funcs(template.FuncMap{
+		// dur renders a nanosecond reading as a rounded duration string.
+		"dur": func(ns int64) string { return roundNS(ns).String() },
+		// mulpct renders a 0..1 ratio as a percentage number.
+		"mulpct": func(v float64) float64 { return v * 100 },
+	}).
+	Parse(diffTmplSrc))
+
+// reportView is the template model; everything is precomputed in Go so the
+// template stays logic-free.
+type reportView struct {
+	D           *Diff
+	GeneratedAt string
+	ChartCSS    template.CSS
+	CostChart   template.HTML // baseline vs current best-cost trajectories
+	SizeChart   template.HTML // baseline vs current node-count trajectories
+	Diverged    []RuleDelta   // rules with semantic deltas, pre-filtered
+	Agreeing    int           // rules with identical counts
+	DivergedOps []OpDelta     // opcode rows with semantic deltas
+}
+
+// Report renders the self-contained HTML autopsy for d. base and cur are
+// the same Inputs given to Compare; their traces feed the trajectory
+// charts (sections a side lacks are simply omitted).
+func Report(d *Diff, base, cur Input) ([]byte, error) {
+	v := &reportView{
+		D:           d,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		ChartCSS:    template.CSS(telemetry.ChartCSS),
+	}
+	var err error
+	if v.CostChart, err = costChart(d, base.Trace, cur.Trace); err != nil {
+		return nil, err
+	}
+	if v.SizeChart, err = sizeChart(d, base.Trace, cur.Trace); err != nil {
+		return nil, err
+	}
+	for _, r := range d.Rules {
+		if r.Diverged() {
+			v.Diverged = append(v.Diverged, r)
+		} else {
+			v.Agreeing++
+		}
+	}
+	if d.Cycles != nil {
+		for _, o := range d.Cycles.Ops {
+			if o.Count.Diverged() || o.Cycles.Diverged() || o.Stall.Diverged() {
+				v.DivergedOps = append(v.DivergedOps, o)
+			}
+		}
+	}
+	var b bytes.Buffer
+	if err := diffTmpl.Execute(&b, v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// costChart overlays the two best-cost trajectories on one lane, baseline
+// in series-1, current in series-2, so the split iteration is visible as
+// the point where the lines part.
+func costChart(d *Diff, base, cur *telemetry.Trace) (template.HTML, error) {
+	bXs, bYs := costSeries(base)
+	cXs, cYs := costSeries(cur)
+	if len(bXs) < 2 && len(cXs) < 2 {
+		return "", nil
+	}
+	xs := longer(bXs, cXs)
+	hi := 0.0
+	for _, y := range append(append([]float64{}, bYs...), cYs...) {
+		hi = max(hi, y)
+	}
+	c := telemetry.NewLineChart(xs)
+	c.XLabel = "iteration"
+	c.SetYRange(0, hi*1.05)
+	if len(bXs) >= 2 {
+		c.AddSeries(d.BaseLabel, "s1", bXs, bYs, func(i int) string {
+			return fmt.Sprintf("iteration %.0f: cost %.2f", bXs[i], bYs[i])
+		})
+	}
+	if len(cXs) >= 2 {
+		c.AddSeries(d.CurLabel, "s2", cXs, cYs, func(i int) string {
+			return fmt.Sprintf("iteration %.0f: cost %.2f", cXs[i], cYs[i])
+		})
+	}
+	c.Legend = true
+	return telemetry.ChartHTML(c.LineChart)
+}
+
+// sizeChart overlays the two node-count trajectories.
+func sizeChart(d *Diff, base, cur *telemetry.Trace) (template.HTML, error) {
+	bXs, bYs := nodeSeries(base)
+	cXs, cYs := nodeSeries(cur)
+	if len(bXs) < 2 && len(cXs) < 2 {
+		return "", nil
+	}
+	xs := longer(bXs, cXs)
+	hi := 0.0
+	for _, y := range append(append([]float64{}, bYs...), cYs...) {
+		hi = max(hi, y)
+	}
+	c := telemetry.NewLineChart(xs)
+	c.XLabel = "iteration"
+	c.SetYRange(0, hi*1.05)
+	if len(bXs) >= 2 {
+		c.AddSeries(d.BaseLabel, "s1", bXs, bYs, func(i int) string {
+			return fmt.Sprintf("iteration %.0f: %.0f nodes", bXs[i], bYs[i])
+		})
+	}
+	if len(cXs) >= 2 {
+		c.AddSeries(d.CurLabel, "s2", cXs, cYs, func(i int) string {
+			return fmt.Sprintf("iteration %.0f: %.0f nodes", cXs[i], cYs[i])
+		})
+	}
+	c.Legend = true
+	return telemetry.ChartHTML(c.LineChart)
+}
+
+// costSeries extracts the best-cost trajectory as chart series.
+func costSeries(t *telemetry.Trace) (xs, ys []float64) {
+	if t == nil || t.Search == nil {
+		return nil, nil
+	}
+	for _, p := range t.Search.BestCost {
+		xs = append(xs, float64(p.Iteration))
+		ys = append(ys, p.Cost)
+	}
+	return xs, ys
+}
+
+// nodeSeries extracts the node-count trajectory as chart series.
+func nodeSeries(t *telemetry.Trace) (xs, ys []float64) {
+	if t == nil {
+		return nil, nil
+	}
+	for _, g := range t.Iterations {
+		xs = append(xs, float64(g.Iteration))
+		ys = append(ys, float64(g.Nodes))
+	}
+	return xs, ys
+}
+
+// longer returns whichever x-axis spans more points, so the chart covers
+// both trajectories.
+func longer(a, b []float64) []float64 {
+	if len(a) >= len(b) {
+		return a
+	}
+	return b
+}

@@ -203,3 +203,31 @@ func TestJournalConcurrentReads(t *testing.T) {
 		t.Fatal("no events recorded")
 	}
 }
+
+// TestRunJournalWraparound drives a real saturation through a tiny ring and
+// checks the flight recorder accounts for every evicted event: the drop
+// count plus the surviving window cover the whole run, and the survivors
+// are the contiguous tail of the sequence.
+func TestRunJournalWraparound(t *testing.T) {
+	g := New()
+	g.AddExpr(expr.MustParse("(* a (+ b (+ c (+ d e))))"))
+	j := NewJournal(4)
+	rules := []Rewrite{
+		MustRewrite("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
+		MustRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+	}
+	Run(g, rules, Limits{MaxIterations: 6, Journal: j})
+	if j.Dropped() == 0 {
+		t.Fatalf("run recorded %d events; a ring of 4 should have evicted some", j.Total())
+	}
+	evs := j.Events()
+	if uint64(len(evs))+j.Dropped() != j.Total() {
+		t.Fatalf("accounting broken: %d buffered + %d dropped != %d total",
+			len(evs), j.Dropped(), j.Total())
+	}
+	for i, ev := range evs {
+		if want := j.Dropped() + uint64(i); ev.Seq != want {
+			t.Fatalf("gap in the surviving window: event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}

@@ -58,10 +58,20 @@ type IterationGauge struct {
 	Bytes int64 `json:"bytes,omitempty"`
 }
 
+// TraceSchema identifies the Trace JSON format. Every trace serialized by
+// this package carries it, the way loadgen's SoakResult carries
+// "diosload/serve-soak/v1", so downstream consumers — diosdiff above all —
+// can reject stale or foreign artifacts with a clear error instead of
+// silently mis-reading them.
+const TraceSchema = "diospyros/trace/v1"
+
 // Trace is the full telemetry record of one compilation: the stage spans
 // in execution order, the saturation iteration gauges, free-form counters,
 // and end-to-end totals.
 type Trace struct {
+	// Schema identifies the JSON format (TraceSchema). Stamped by
+	// Recorder.Finish and by JSON; empty only on hand-built literals.
+	Schema     string           `json:"schema,omitempty"`
 	Stages     []Span           `json:"stages"`
 	Iterations []IterationGauge `json:"iterations,omitempty"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
@@ -156,8 +166,14 @@ func (t *Trace) PerRuleApplied() map[string]int {
 // Saturated reports whether the saturation stage reached a fixpoint.
 func (t *Trace) Saturated() bool { return t.StopReason == "saturated" }
 
-// JSON renders the trace for machine consumption (the -json CLI flag).
-func (t *Trace) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
+// JSON renders the trace for machine consumption (the -json CLI flag),
+// stamping the schema identifier if the trace does not carry one yet.
+func (t *Trace) JSON() ([]byte, error) {
+	if t.Schema == "" {
+		t.Schema = TraceSchema
+	}
+	return json.MarshalIndent(t, "", "  ")
+}
 
 // Format renders the human-readable stage table printed by -trace. Column
 // widths adapt to the longest stage and counter names so long names (e.g.
@@ -350,6 +366,7 @@ func (r *Recorder) Finish() *Trace {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.trace.Schema = TraceSchema
 	r.trace.Duration = time.Since(r.start)
 	r.trace.AllocBytes = totalAlloc() - r.startAlloc
 	if r.trace.Memory != nil && r.trace.Memory.StageAllocs == nil {
