@@ -107,7 +107,7 @@ func buildExplanation(g *egraph.EGraph, ex *extract.Extractor, root egraph.Class
 // renderENode prints an e-node with its child classes as placeholder
 // symbols (e.g. "(VecAdd c12 c37)") for the explanation's example column.
 func renderENode(g *egraph.EGraph, n egraph.ENode) string {
-	e := &expr.Expr{Op: n.Op, Lit: n.Lit, Sym: n.Sym, Idx: n.Idx}
+	e := &expr.Expr{Op: n.Op, Lit: n.Lit, Sym: g.SymName(n.Sym), Idx: n.Idx}
 	for _, a := range n.Args {
 		e.Args = append(e.Args, expr.Sym(fmt.Sprintf("c%d", g.Find(a))))
 	}

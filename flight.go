@@ -84,6 +84,7 @@ func memoryTraceFromReport(rep egraph.Report) *telemetry.MemoryTrace {
 	}{
 		{"e-nodes", fp.Nodes},
 		{"hashcons", fp.Hashcons},
+		{"symbols", fp.Symbols},
 		{"union-find", fp.UnionFind},
 		{"classes", fp.Classes},
 		{"parents", fp.Parents},

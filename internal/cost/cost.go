@@ -55,11 +55,11 @@ const (
 // ClassifyVec determines the movement class of a Vec node from its chosen
 // child nodes, plus the number of scalar-computed lanes.
 func ClassifyVec(children []ChildInfo) (MovementClass, int) {
-	arrays := map[string]bool{}
+	arrays := map[egraph.SymID]bool{}
 	scalarLanes := 0
 	allLit := true
 	contiguous := true
-	var firstArr string
+	var firstArr egraph.SymID
 	firstIdx, haveFirst := 0, false
 	for i, c := range children {
 		switch c.Node.Op {
@@ -248,29 +248,54 @@ func loadCharge(children []ChildInfo) float64 {
 	return c
 }
 
+// NeedsSyms is implemented by models whose pricing depends on symbol
+// payloads. Since the data-layout overhaul (DESIGN.md §14) an e-node
+// carries an interned SymID, not the symbol string, so such models must be
+// bound to the graph's resolver before pricing; extraction does this
+// automatically (extract.New).
+type NeedsSyms interface {
+	// WithSyms returns the model bound to a resolver from interned symbol
+	// IDs back to names. The receiver is not mutated.
+	WithSyms(resolve func(egraph.SymID) string) Model
+}
+
 // Overrides wraps a base model with per-operator cost replacements, keyed
 // by the DSL operator head symbol ("VecDiv", "/", "sqrt", ...). Calls to
 // user-defined functions can be priced per function with "func:NAME" and
 // "VecFunc:NAME" keys — the hook a designer uses to tell the extraction
 // engine that a target-specific instruction (e.g. a fast reciprocal, §6)
-// is cheap.
+// is cheap. Function-name keys require the graph's symbol resolver
+// (NeedsSyms); unbound, they are inert and only operator-head keys apply.
 type Overrides struct {
-	Base  Model
-	PerOp map[string]float64
+	Base    Model
+	PerOp   map[string]float64
+	resolve func(egraph.SymID) string
 }
 
 var _ Model = Overrides{}
+var _ NeedsSyms = Overrides{}
+
+// WithSyms implements NeedsSyms, activating "func:NAME"/"VecFunc:NAME"
+// keys against the graph the resolver belongs to. The binding is forwarded
+// to the base model when it needs symbols too.
+func (o Overrides) WithSyms(resolve func(egraph.SymID) string) Model {
+	o.resolve = resolve
+	if b, ok := o.Base.(NeedsSyms); ok {
+		o.Base = b.WithSyms(resolve)
+	}
+	return o
+}
 
 // NodeCost implements Model.
 func (o Overrides) NodeCost(n egraph.ENode, children []ChildInfo) float64 {
 	if len(o.PerOp) > 0 {
-		if n.Op == expr.OpFunc {
-			if c, ok := o.PerOp["func:"+n.Sym]; ok {
+		if n.Op == expr.OpFunc && o.resolve != nil {
+			if c, ok := o.PerOp["func:"+o.resolve(n.Sym)]; ok {
 				return c
 			}
 		}
-		if n.Op == expr.OpVecFunc {
-			if c, ok := o.PerOp["VecFunc:"+n.Sym]; ok {
+		if n.Op == expr.OpVecFunc && o.resolve != nil {
+			if c, ok := o.PerOp["VecFunc:"+o.resolve(n.Sym)]; ok {
 				return c
 			}
 		}

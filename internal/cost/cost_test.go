@@ -7,8 +7,31 @@ import (
 	"diospyros/internal/expr"
 )
 
+// get builds a Get child. Symbol payloads are interned IDs since the
+// layout overhaul; the model only compares them for equality, so tests use
+// a tiny hand-rolled intern table.
 func get(arr string, i int) ChildInfo {
-	return ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: arr, Idx: i}}
+	return ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: testSym(arr), Idx: i}}
+}
+
+var testSyms = map[string]egraph.SymID{}
+
+func testSym(name string) egraph.SymID {
+	id, ok := testSyms[name]
+	if !ok {
+		id = egraph.SymID(len(testSyms) + 1)
+		testSyms[name] = id
+	}
+	return id
+}
+
+func testSymName(id egraph.SymID) string {
+	for n, i := range testSyms {
+		if i == id {
+			return n
+		}
+	}
+	return ""
 }
 
 func lit(v float64) ChildInfo {
@@ -85,18 +108,18 @@ func TestOverrides(t *testing.T) {
 		"VecDiv":        100,
 		"func:recip":    0.25,
 		"VecFunc:recip": 0.5,
-	}}
+	}}.WithSyms(testSymName)
 	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecDiv}, nil); c != 100 {
 		t.Fatalf("VecDiv override = %g", c)
 	}
-	if c := m.NodeCost(egraph.ENode{Op: expr.OpFunc, Sym: "recip"}, nil); c != 0.25 {
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpFunc, Sym: testSym("recip")}, nil); c != 0.25 {
 		t.Fatalf("func:recip override = %g", c)
 	}
-	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecFunc, Sym: "recip"}, nil); c != 0.5 {
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecFunc, Sym: testSym("recip")}, nil); c != 0.5 {
 		t.Fatalf("VecFunc:recip override = %g", c)
 	}
 	// Other functions and ops fall through to the base model.
-	if c := m.NodeCost(egraph.ENode{Op: expr.OpFunc, Sym: "other"}, nil); c == 0.25 {
+	if c := m.NodeCost(egraph.ENode{Op: expr.OpFunc, Sym: testSym("other")}, nil); c == 0.25 {
 		t.Fatal("override leaked to a different function")
 	}
 	if c := m.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil); c != base.NodeCost(egraph.ENode{Op: expr.OpVecAdd}, nil) {

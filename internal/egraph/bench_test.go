@@ -44,6 +44,61 @@ func BenchmarkSaturationThroughput(b *testing.B) {
 	b.ReportMetric(float64(applied)*float64(b.N)/b.Elapsed().Seconds(), "applies/s")
 }
 
+// BenchmarkSaturateSerial measures one full serial saturation run
+// (MatchWorkers=1) of the explosive workload — the end-to-end number the
+// §14 data-layout work (interned symbols, binary hashcons, indexed
+// dispatch) moves. allocs/op here is dominated by hashcons probes.
+func BenchmarkSaturateSerial(b *testing.B) {
+	e, rules := saturationWorkload(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New()
+		g.AddExpr(e)
+		Run(g, rules, Limits{MaxIterations: 4, MaxNodes: 50_000, MatchWorkers: 1})
+	}
+}
+
+// BenchmarkMatchPhase isolates the read-only match phase on a saturated
+// graph: one indexed search of every rule over every canonical class, the
+// inner loop the head-op dispatch index (DESIGN.md §14) prunes.
+func BenchmarkMatchPhase(b *testing.B) {
+	e, rules := saturationWorkload(12)
+	g := New()
+	g.AddExpr(e)
+	Run(g, rules, Limits{MaxIterations: 4, MaxNodes: 50_000, MatchWorkers: 1})
+	g.CompressPaths()
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		ix := HeadIndex(g.CanonicalClasses())
+		for _, r := range rules {
+			total += len(searchIndexed(g, ix, r))
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "matches")
+}
+
+// BenchmarkMatchHashconsHit measures the hashcons probe fast path: Lookup
+// of an existing binary-arity node. The §14 binary key makes this
+// allocation-free; a regression to per-probe allocation shows up directly
+// in allocs/op.
+func BenchmarkMatchHashconsHit(b *testing.B) {
+	g := New()
+	e, _ := saturationWorkload(12)
+	g.AddExpr(e)
+	x := g.AddLeaf(expr.OpSym, 0, "x0", 0)
+	y := g.AddLeaf(expr.OpSym, 0, "y0", 0)
+	n := ENode{Op: expr.OpMul, Args: []ClassID{x, y}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Lookup(n); !ok {
+			b.Fatal("probe missed")
+		}
+	}
+}
+
 // BenchmarkSaturationThroughputProvenance is the same workload with
 // provenance recording enabled — the measured cost of -explain. Compare
 // against BenchmarkSaturationThroughput, which (recording disabled) pays

@@ -39,7 +39,7 @@ func (g *EGraph) ToDot() string {
 		fmt.Fprintf(&b, "    label=\"class %d\"; style=dashed;\n", cls.ID)
 		for i, n := range cls.Nodes {
 			name := fmt.Sprintf("n%d_%d", cls.ID, i)
-			fmt.Fprintf(&b, "    %s [label=\"%s\"];\n", name, dotLabel(n))
+			fmt.Fprintf(&b, "    %s [label=\"%s\"];\n", name, g.dotLabel(n))
 			for ai, a := range n.Args {
 				target, ok := rep[g.Find(a)]
 				if !ok {
@@ -60,17 +60,17 @@ func (g *EGraph) ToDot() string {
 	return b.String()
 }
 
-func dotLabel(n ENode) string {
+func (g *EGraph) dotLabel(n ENode) string {
 	var s string
 	switch n.Op {
 	case expr.OpLit:
 		s = fmt.Sprintf("%g", n.Lit)
 	case expr.OpSym:
-		s = n.Sym
+		s = g.syms.Name(n.Sym)
 	case expr.OpGet:
-		s = fmt.Sprintf("Get %s %d", n.Sym, n.Idx)
+		s = fmt.Sprintf("Get %s %d", g.syms.Name(n.Sym), n.Idx)
 	case expr.OpFunc, expr.OpVecFunc:
-		s = n.Op.String() + " " + n.Sym
+		s = n.Op.String() + " " + g.syms.Name(n.Sym)
 	default:
 		s = n.Op.String()
 	}

@@ -8,12 +8,19 @@
 // the same class represent equal terms. Rewrite rules add nodes and merge
 // classes; Rebuild restores the congruence invariant (equal children imply
 // equal parents) after a batch of merges.
+//
+// Data layout (DESIGN.md §14): symbol payloads are interned per graph
+// (SymbolTable, symbols.go) so nodes carry a 32-bit SymID instead of a
+// string; the hashcons is keyed by a fixed-size binary key (memoKey,
+// key.go) instead of a heap-allocated string; and the match phase
+// dispatches rules through a per-iteration head-operator index (index.go)
+// instead of scanning every class for every rule.
 package egraph
 
 import (
-	"encoding/binary"
-	"math"
+	"bytes"
 	"sort"
+	"strconv"
 
 	"diospyros/internal/expr"
 )
@@ -23,11 +30,14 @@ import (
 type ClassID uint32
 
 // ENode is an operator applied to child equivalence classes. Terminals
-// (literals, symbols, Get) carry payloads and have no children.
+// (literals, symbols, Get) carry payloads and have no children. Symbol
+// payloads are interned: Sym is a graph-local SymID, resolved back to its
+// string with EGraph.SymName and produced with EGraph.InternSym (or the
+// LeafNode/AddLeaf helpers, which intern for you).
 type ENode struct {
 	Op   expr.Op
 	Lit  float64 // payload for expr.OpLit
-	Sym  string  // payload for OpSym, OpGet, OpFunc, OpVecFunc
+	Sym  SymID   // payload for OpSym, OpGet, OpFunc, OpVecFunc (interned)
 	Idx  int     // payload for OpGet
 	Args []ClassID
 }
@@ -61,9 +71,16 @@ type EGraph struct {
 	uf      []ClassID // union-find parent pointers
 	rank    []uint8
 	classes map[ClassID]*EClass
-	memo    map[string]ClassID
+	memo    map[memoKey]ClassID
 	dirty   []ClassID // classes touched by unions, pending Rebuild
 
+	// syms interns every symbol payload the graph has seen (symbols.go).
+	syms SymbolTable
+
+	// keyBuf backs the overflow bytes of wide-node keys and the legacy-key
+	// encodings repair sorts by. Both users copy out of it before the next
+	// use (string conversion copies; repair materializes its sort keys), so
+	// a single buffer per graph is safe to reuse across every key build.
 	keyBuf []byte
 
 	// prov, when non-nil, records rewrite provenance (see provenance.go).
@@ -78,19 +95,20 @@ type EGraph struct {
 	// Footprint counters (see footprint.go). Maintained incrementally at
 	// the same mutation sites as nodeCount so Footprint()/FootprintBytes()
 	// stay O(1): nodePayload sums the variable payload bytes (Args backing
-	// arrays + Sym strings) of nodes in class node lists, memoKeyBytes sums
-	// hashcons key string contents, parentCount counts parent back-reference
-	// entries across all classes.
-	nodePayload  int64
-	memoKeyBytes int64
-	parentCount  int
+	// arrays) of nodes in class node lists, memoRestBytes sums the overflow
+	// bytes of wide hashcons keys, parentCount counts parent back-reference
+	// entries across all classes. Symbol-string bytes are owned by the
+	// SymbolTable and accounted there.
+	nodePayload   int64
+	memoRestBytes int64
+	parentCount   int
 }
 
 // New returns an empty e-graph.
 func New() *EGraph {
 	return &EGraph{
 		classes: make(map[ClassID]*EClass),
-		memo:    make(map[string]ClassID),
+		memo:    make(map[memoKey]ClassID),
 	}
 }
 
@@ -177,34 +195,11 @@ func (g *EGraph) canonicalize(n *ENode) {
 	}
 }
 
-// nodeKey builds the hashcons key for a canonical node.
-func (g *EGraph) nodeKey(n ENode) string {
-	b := g.keyBuf[:0]
-	b = append(b, byte(n.Op))
-	switch n.Op {
-	case expr.OpLit:
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(n.Lit))
-	case expr.OpSym:
-		b = append(b, n.Sym...)
-	case expr.OpGet:
-		b = binary.LittleEndian.AppendUint32(b, uint32(int32(n.Idx)))
-		b = append(b, n.Sym...)
-	case expr.OpFunc, expr.OpVecFunc:
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(n.Sym)))
-		b = append(b, n.Sym...)
-	}
-	for _, a := range n.Args {
-		b = binary.LittleEndian.AppendUint32(b, uint32(a))
-	}
-	g.keyBuf = b
-	return string(b)
-}
-
 // Lookup reports the class containing the (canonicalized) node, if any.
+// The probe is allocation-free for nodes with at most four children:
+// lookupKey canonicalizes while packing, so n is never copied or mutated.
 func (g *EGraph) Lookup(n ENode) (ClassID, bool) {
-	n = n.clone()
-	g.canonicalize(&n)
-	id, ok := g.memo[g.nodeKey(n)]
+	id, ok := g.memo[g.lookupKey(n)]
 	if !ok {
 		return 0, false
 	}
@@ -212,11 +207,12 @@ func (g *EGraph) Lookup(n ENode) (ClassID, bool) {
 }
 
 // Add inserts a node, returning its class. If an equal node already exists,
-// the existing class is returned and the graph is unchanged.
+// the existing class is returned and the graph is unchanged. Nodes carrying
+// a symbol must use a SymID interned in this graph (InternSym/LeafNode).
 func (g *EGraph) Add(n ENode) ClassID {
 	n = n.clone()
 	g.canonicalize(&n)
-	key := g.nodeKey(n)
+	key := g.makeKey(n)
 	if id, ok := g.memo[key]; ok {
 		return g.Find(id)
 	}
@@ -228,7 +224,7 @@ func (g *EGraph) Add(n ENode) ClassID {
 	g.memo[key] = id
 	g.nodeCount++
 	g.nodePayload += nodePayloadBytes(n)
-	g.memoKeyBytes += int64(len(key))
+	g.memoRestBytes += key.restBytes()
 	if g.prov != nil {
 		g.prov.recordNode(key)
 	}
@@ -255,9 +251,10 @@ func dedupClasses(ids []ClassID) []ClassID {
 	return out
 }
 
-// AddLeaf inserts a terminal node for the given operator and payload.
+// AddLeaf inserts a terminal node for the given operator and payload,
+// interning the symbol in the graph's table.
 func (g *EGraph) AddLeaf(op expr.Op, lit float64, sym string, idx int) ClassID {
-	return g.Add(ENode{Op: op, Lit: lit, Sym: sym, Idx: idx})
+	return g.Add(g.LeafNode(op, lit, sym, idx))
 }
 
 // AddLit inserts a literal.
@@ -275,7 +272,7 @@ func (g *EGraph) AddExpr(e *expr.Expr) ClassID {
 		if id, ok := memo[e]; ok {
 			return id
 		}
-		n := ENode{Op: e.Op, Lit: e.Lit, Sym: e.Sym, Idx: e.Idx}
+		n := ENode{Op: e.Op, Lit: e.Lit, Sym: g.syms.Intern(e.Sym), Idx: e.Idx}
 		if len(e.Args) > 0 {
 			n.Args = make([]ClassID, len(e.Args))
 			for i, a := range e.Args {
@@ -337,6 +334,14 @@ func (g *EGraph) Rebuild() {
 	g.canonicalizeClasses()
 }
 
+// repairEntry is one rebuilt parent, carrying the legacy byte encoding the
+// emit order sorts by (see below).
+type repairEntry struct {
+	key    memoKey
+	legacy []byte
+	par    parent
+}
+
 func (g *EGraph) repair(id ClassID) {
 	cls := g.classes[g.Find(id)]
 	if cls == nil {
@@ -345,43 +350,56 @@ func (g *EGraph) repair(id ClassID) {
 	oldParents := cls.parents
 	cls.parents = nil
 	g.parentCount -= len(oldParents)
-	newParents := make(map[string]parent, len(oldParents))
+	newParents := make(map[memoKey]int, len(oldParents))
+	entries := make([]repairEntry, 0, len(oldParents))
 	for _, p := range oldParents {
 		// Remove the stale hashcons entry, re-canonicalize, re-insert.
 		// Duplicate parent entries map to the same key, so the byte counter
 		// only moves when the entry actually existed.
-		oldKey := g.nodeKey(p.node)
+		oldKey := g.makeKey(p.node)
 		if _, ok := g.memo[oldKey]; ok {
-			g.memoKeyBytes -= int64(len(oldKey))
+			g.memoRestBytes -= oldKey.restBytes()
 			delete(g.memo, oldKey)
 		}
 		g.canonicalize(&p.node)
-		key := g.nodeKey(p.node)
+		key := g.makeKey(p.node)
 		if g.prov != nil {
 			// Keep node justifications keyed by the current hashcons key.
 			g.prov.moveKey(oldKey, key)
 		}
-		if prev, ok := newParents[key]; ok {
+		if at, ok := newParents[key]; ok {
 			// Congruence: two parents became identical.
-			g.Union(prev.class, p.class)
+			g.Union(entries[at].par.class, p.class)
+			entries[at].par = parent{node: p.node, class: g.Find(p.class)}
+			continue
 		}
-		newParents[key] = parent{node: p.node, class: g.Find(p.class)}
+		newParents[key] = len(entries)
+		g.keyBuf = g.appendLegacyKey(g.keyBuf[:0], p.node)
+		entries = append(entries, repairEntry{
+			key:    key,
+			legacy: append([]byte(nil), g.keyBuf...),
+			par:    parent{node: p.node, class: g.Find(p.class)},
+		})
 	}
 	// The class may have been merged away by the unions above.
 	cls = g.classes[g.Find(id)]
-	keys := make([]string, 0, len(newParents))
-	for k := range newParents {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		p := newParents[k]
-		p.class = g.Find(p.class)
-		if _, ok := g.memo[k]; !ok {
-			g.memoKeyBytes += int64(len(k))
+	// Emit rebuilt parents in the legacy (string-key) byte order. Any
+	// deterministic order would keep runs reproducible, but this specific
+	// order is what the string-keyed layout produced, and parent order
+	// feeds congruence-union order, class node order, and ultimately
+	// extraction tie-breaks — preserving it is what makes the layout change
+	// bit-identical on every artifact (DESIGN.md §14).
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].legacy, entries[j].legacy) < 0
+	})
+	for i := range entries {
+		e := &entries[i]
+		e.par.class = g.Find(e.par.class)
+		if _, ok := g.memo[e.key]; !ok {
+			g.memoRestBytes += e.key.restBytes()
 		}
-		g.memo[k] = p.class
-		cls.parents = append(cls.parents, p)
+		g.memo[e.key] = e.par.class
+		cls.parents = append(cls.parents, e.par)
 		g.parentCount++
 	}
 }
@@ -392,11 +410,11 @@ func (g *EGraph) canonicalizeClasses() {
 	total := 0
 	payload := int64(0)
 	for _, cls := range g.classes {
-		seen := make(map[string]bool, len(cls.Nodes))
+		seen := make(map[memoKey]bool, len(cls.Nodes))
 		out := cls.Nodes[:0]
 		for i := range cls.Nodes {
 			g.canonicalize(&cls.Nodes[i])
-			key := g.nodeKey(cls.Nodes[i])
+			key := g.makeKey(cls.Nodes[i])
 			if !seen[key] {
 				seen[key] = true
 				out = append(out, cls.Nodes[i])
@@ -419,9 +437,7 @@ func (g *EGraph) CheckInvariants() []string {
 			bad = append(bad, "non-canonical class in map")
 		}
 		for _, n := range cls.Nodes {
-			c := n.clone()
-			g.canonicalize(&c)
-			id, ok := g.memo[g.nodeKey(c)]
+			id, ok := g.memo[g.lookupKey(n)]
 			if !ok {
 				bad = append(bad, "node missing from hashcons: "+g.nodeString(n))
 				continue
@@ -435,23 +451,9 @@ func (g *EGraph) CheckInvariants() []string {
 }
 
 func (g *EGraph) nodeString(n ENode) string {
-	e := &expr.Expr{Op: n.Op, Lit: n.Lit, Sym: n.Sym, Idx: n.Idx}
+	e := &expr.Expr{Op: n.Op, Lit: n.Lit, Sym: g.syms.Name(n.Sym), Idx: n.Idx}
 	for _, a := range n.Args {
-		e.Args = append(e.Args, expr.Sym("c"+itoa(int(g.Find(a)))))
+		e.Args = append(e.Args, expr.Sym("c"+strconv.Itoa(int(g.Find(a)))))
 	}
 	return e.String()
-}
-
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var b [12]byte
-	p := len(b)
-	for i > 0 {
-		p--
-		b[p] = byte('0' + i%10)
-		i /= 10
-	}
-	return string(b[p:])
 }

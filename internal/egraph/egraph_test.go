@@ -29,8 +29,8 @@ func TestAddHashconsing(t *testing.T) {
 func TestLookup(t *testing.T) {
 	g := New()
 	id := g.AddExpr(expr.MustParse("(* x y)"))
-	x, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "x"})
-	y, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "y"})
+	x, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "x", 0))
+	y, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "y", 0))
 	got, ok := g.Lookup(ENode{Op: expr.OpMul, Args: []ClassID{x, y}})
 	if !ok || got != id {
 		t.Fatalf("Lookup = %d, %v; want %d, true", got, ok, id)
@@ -70,8 +70,8 @@ func TestCongruenceClosure(t *testing.T) {
 	if g.Find(fa) == g.Find(fb) {
 		t.Fatal("f(a) and f(b) equal before union")
 	}
-	a, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "a"})
-	b, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "b"})
+	a, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "a", 0))
+	b, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "b", 0))
 	g.Union(a, b)
 	g.Rebuild()
 	if g.Find(fa) != g.Find(fb) {
@@ -87,8 +87,8 @@ func TestCongruenceClosureDeep(t *testing.T) {
 	g := New()
 	l := g.AddExpr(expr.MustParse("(sqrt (neg (+ a 1)))"))
 	r := g.AddExpr(expr.MustParse("(sqrt (neg (+ b 1)))"))
-	a, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "a"})
-	b, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "b"})
+	a, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "a", 0))
+	b, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "b", 0))
 	g.Union(a, b)
 	g.Rebuild()
 	if g.Find(l) != g.Find(r) {
@@ -103,8 +103,8 @@ func TestCongruenceMergesParentsAcrossOps(t *testing.T) {
 	addA := g.AddExpr(expr.MustParse("(+ a c)"))
 	addB := g.AddExpr(expr.MustParse("(+ b c)"))
 	mulA := g.AddExpr(expr.MustParse("(* a c)"))
-	a, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "a"})
-	b, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "b"})
+	a, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "a", 0))
+	b, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "b", 0))
 	g.Union(a, b)
 	g.Rebuild()
 	if g.Find(addA) != g.Find(addB) {
@@ -149,7 +149,7 @@ func TestSearchPattern(t *testing.T) {
 		t.Fatalf("got %d matches, want 1", len(ms))
 	}
 	s := ms[0].Subst
-	wantX, _ := g.Lookup(ENode{Op: expr.OpGet, Sym: "a", Idx: 0})
+	wantX, _ := g.Lookup(g.LeafNode(expr.OpGet, 0, "a", 0))
 	if g.Find(s["?x"]) != wantX {
 		t.Errorf("?x bound to %d, want %d", s["?x"], wantX)
 	}
@@ -197,8 +197,8 @@ func TestInstantiate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "q"})
-	p, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "p"})
+	q, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "q", 0))
+	p, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "p", 0))
 	want, ok := g.Lookup(ENode{Op: expr.OpMul, Args: []ClassID{q, p}})
 	if !ok || want != id {
 		t.Fatalf("Instantiate produced class %d, want %d", id, want)
@@ -216,7 +216,7 @@ func TestRunSimpleRewrite(t *testing.T) {
 	if !rep.Saturated() {
 		t.Fatalf("run did not saturate: %+v", rep)
 	}
-	x, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "x"})
+	x, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "x", 0))
 	if g.Find(root) != g.Find(x) {
 		t.Fatal("(+ (+ x 0) 0) not rewritten to x")
 	}
@@ -440,7 +440,7 @@ func TestBackoffStillSaturatesSimpleRuns(t *testing.T) {
 	if !rep.Saturated() {
 		t.Fatalf("backoff prevented saturation: %+v", rep)
 	}
-	x, _ := g.Lookup(ENode{Op: expr.OpSym, Sym: "x"})
+	x, _ := g.Lookup(g.LeafNode(expr.OpSym, 0, "x", 0))
 	if g.Find(root) != g.Find(x) {
 		t.Fatal("rewrite missing")
 	}

@@ -3,21 +3,33 @@ package egraph
 import "unsafe"
 
 // Footprint accounting. The e-graph keeps three incremental counters —
-// node payload bytes, hashcons key bytes, and the parent-list entry count —
-// updated at the same mutation sites that already maintain nodeCount, so
-// Footprint() is O(1) arithmetic over them plus container lengths. The
-// resulting "logical bytes" are the bytes the e-graph's own data structures
-// account for: struct sizes come from the compiler (unsafe.Sizeof constants),
-// variable-length payloads (child ID slices, symbol and hashcons key strings)
-// from their lengths. Go map bucket overhead and allocator slack are
-// deliberately excluded: logical bytes are a deterministic lower bound that
-// is bit-identical across runs and worker counts — the property that lets
-// the bench suite gate on them — while allocator truth comes from the
-// telemetry heap sampler and pprof profiles.
-
-// Per-entry sizes. All are compile-time constants: unsafe.Sizeof of a
-// composite literal is a constant expression, so none of this costs a
-// reflection walk at runtime.
+// node payload bytes, hashcons overflow-key bytes, and the parent-list
+// entry count — updated at the same mutation sites that already maintain
+// nodeCount, so Footprint() is O(1) arithmetic over them plus container
+// lengths (the symbol table maintains its own string-byte counter the same
+// way). The resulting "logical bytes" are the bytes the e-graph's own data
+// structures account for: struct sizes come from the compiler
+// (unsafe.Sizeof constants), variable-length payloads (child ID slices,
+// interned symbol strings, wide-key overflow bytes) from their lengths. Go
+// map bucket overhead and allocator slack are deliberately excluded:
+// logical bytes are a deterministic lower bound that is bit-identical
+// across runs and worker counts — the property that lets the bench suite
+// gate on them — while allocator truth comes from the telemetry heap
+// sampler and pprof profiles.
+//
+// §14 layout amendments to the §13 accounting rules:
+//
+//   - A hashcons entry is memoKeySize + classIDSize (the fixed-size binary
+//     key struct plus the value), with wide-node overflow bytes (children
+//     beyond the four inline slots) summed separately in memoRestBytes.
+//     String-keyed accounting (strHeaderSize + key contents) is gone with
+//     the string keys themselves.
+//   - Node payloads no longer include symbol bytes: a node stores a 4-byte
+//     SymID inline in the struct. Each symbol's string contents are counted
+//     once, in the new Symbols component, however many nodes share it.
+//   - Provenance entries are keyed by the binary key too: memoKeySize +
+//     justSize each. Overflow bytes of a provenance key alias the hashcons
+//     entry's and are attributed once, to the hashcons.
 const (
 	enodeSize     = int64(unsafe.Sizeof(ENode{}))
 	parentSize    = int64(unsafe.Sizeof(parent{}))
@@ -26,6 +38,8 @@ const (
 	classPtrSize  = int64(unsafe.Sizeof((*EClass)(nil)))
 	rankSize      = int64(unsafe.Sizeof(uint8(0)))
 	strHeaderSize = int64(unsafe.Sizeof(""))
+	symIDSize     = int64(unsafe.Sizeof(SymID(0)))
+	memoKeySize   = int64(unsafe.Sizeof(memoKey{}))
 	justSize      = int64(unsafe.Sizeof(Justification{}))
 	unionStepSize = int64(unsafe.Sizeof(UnionStep{}))
 
@@ -41,13 +55,15 @@ type FootprintComponent struct {
 }
 
 // Footprint is a per-component breakdown of the e-graph's logical memory:
-// e-node structs and payloads, the hashcons (keys plus map entries), the
-// union-find arrays, the per-class containers, parent back-references, the
-// provenance store, and — when sampled through a Journal — the journal ring
-// itself. Total is the sum of all component bytes.
+// e-node structs and payloads, the hashcons (binary keys plus map entries),
+// the symbol intern table, the union-find arrays, the per-class containers,
+// parent back-references, the provenance store, and — when sampled through
+// a Journal — the journal ring itself. Total is the sum of all component
+// bytes.
 type Footprint struct {
 	Nodes      FootprintComponent `json:"nodes"`
 	Hashcons   FootprintComponent `json:"hashcons"`
+	Symbols    FootprintComponent `json:"symbols"`
 	UnionFind  FootprintComponent `json:"union_find"`
 	Classes    FootprintComponent `json:"classes"`
 	Parents    FootprintComponent `json:"parents"`
@@ -57,11 +73,19 @@ type Footprint struct {
 }
 
 // nodePayloadBytes is the variable-length payload a node carries beyond its
-// struct: the child-ID slice's backing array and the symbol string's bytes.
-// (A parent entry shares the node's Args backing array, so the payload is
-// attributed once, to the class node list.)
+// struct: the child-ID slice's backing array. Symbol payloads are a SymID
+// inside the struct; the interned string is accounted once, in the symbol
+// table. (A parent entry shares the node's Args backing array, so the
+// payload is attributed once, to the class node list.)
 func nodePayloadBytes(n ENode) int64 {
-	return int64(len(n.Args))*classIDSize + int64(len(n.Sym))
+	return int64(len(n.Args)) * classIDSize
+}
+
+// symbolBytes is the symbol table's logical footprint: every interned
+// string's contents once, plus a slice entry (string header) and a map
+// entry (string header + SymID) per symbol.
+func (t *SymbolTable) symbolBytes() int64 {
+	return t.nameBytes + int64(len(t.names))*(2*strHeaderSize+symIDSize)
 }
 
 // Footprint returns the per-component logical footprint. O(1): every value
@@ -77,7 +101,11 @@ func (g *EGraph) Footprint() Footprint {
 	}
 	fp.Hashcons = FootprintComponent{
 		Entries: len(g.memo),
-		Bytes:   int64(len(g.memo))*(strHeaderSize+classIDSize) + g.memoKeyBytes,
+		Bytes:   int64(len(g.memo))*(memoKeySize+classIDSize) + g.memoRestBytes,
+	}
+	fp.Symbols = FootprintComponent{
+		Entries: g.syms.Len(),
+		Bytes:   g.syms.symbolBytes(),
 	}
 	fp.UnionFind = FootprintComponent{
 		Entries: len(g.uf),
@@ -95,14 +123,15 @@ func (g *EGraph) Footprint() Footprint {
 		nodes, unions := len(g.prov.nodes), len(g.prov.unions)
 		fp.Provenance = FootprintComponent{
 			Entries: nodes + unions,
-			// Justification keys alias hashcons keys; their string contents
-			// are attributed once, to the hashcons, so only the map entry
-			// headers count here.
-			Bytes: int64(nodes)*(strHeaderSize+justSize) + int64(unions)*unionStepSize,
+			// Justification keys are binary hashcons keys; overflow bytes
+			// alias the hashcons entry's and are attributed once, to the
+			// hashcons, so only the fixed-size key and value count here.
+			Bytes: int64(nodes)*(memoKeySize+justSize) + int64(unions)*unionStepSize,
 		}
 	}
-	fp.Total = fp.Nodes.Bytes + fp.Hashcons.Bytes + fp.UnionFind.Bytes +
-		fp.Classes.Bytes + fp.Parents.Bytes + fp.Provenance.Bytes
+	fp.Total = fp.Nodes.Bytes + fp.Hashcons.Bytes + fp.Symbols.Bytes +
+		fp.UnionFind.Bytes + fp.Classes.Bytes + fp.Parents.Bytes +
+		fp.Provenance.Bytes
 	return fp
 }
 
@@ -111,7 +140,8 @@ func (g *EGraph) Footprint() Footprint {
 // enough to call at every Progress publish site.
 func (g *EGraph) FootprintBytes() int64 {
 	return int64(g.nodeCount)*enodeSize + g.nodePayload +
-		int64(len(g.memo))*(strHeaderSize+classIDSize) + g.memoKeyBytes +
+		int64(len(g.memo))*(memoKeySize+classIDSize) + g.memoRestBytes +
+		g.syms.symbolBytes() +
 		int64(len(g.uf))*(classIDSize+rankSize) +
 		int64(len(g.classes))*(eclassSize+classIDSize+classPtrSize) +
 		int64(g.parentCount)*parentSize +
@@ -123,5 +153,5 @@ func (g *EGraph) provBytes() int64 {
 		return 0
 	}
 	nodes, unions := len(g.prov.nodes), len(g.prov.unions)
-	return int64(nodes)*(strHeaderSize+justSize) + int64(unions)*unionStepSize
+	return int64(nodes)*(memoKeySize+justSize) + int64(unions)*unionStepSize
 }

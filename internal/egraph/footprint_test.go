@@ -7,10 +7,10 @@ import (
 	"diospyros/internal/expr"
 )
 
-// recountFootprint recomputes the three incremental footprint counters from
+// recountFootprint recomputes the incremental footprint counters from
 // scratch by walking the graph — the ground truth the O(1) counters must
 // agree with after any sequence of adds, unions, and rebuilds.
-func recountFootprint(g *EGraph) (nodePayload int64, memoKeyBytes int64, parentCount int) {
+func recountFootprint(g *EGraph) (nodePayload int64, restBytes int64, symBytes int64, parentCount int) {
 	for _, cls := range g.classes {
 		for _, n := range cls.Nodes {
 			nodePayload += nodePayloadBytes(n)
@@ -18,19 +18,25 @@ func recountFootprint(g *EGraph) (nodePayload int64, memoKeyBytes int64, parentC
 		parentCount += len(cls.parents)
 	}
 	for k := range g.memo {
-		memoKeyBytes += int64(len(k))
+		restBytes += k.restBytes()
+	}
+	for _, name := range g.syms.names {
+		symBytes += int64(len(name))
 	}
 	return
 }
 
 func checkFootprintConsistent(t *testing.T, g *EGraph, when string) {
 	t.Helper()
-	payload, keys, parents := recountFootprint(g)
+	payload, rest, symBytes, parents := recountFootprint(g)
 	if g.nodePayload != payload {
 		t.Errorf("%s: nodePayload = %d, recount = %d", when, g.nodePayload, payload)
 	}
-	if g.memoKeyBytes != keys {
-		t.Errorf("%s: memoKeyBytes = %d, recount = %d", when, g.memoKeyBytes, keys)
+	if g.memoRestBytes != rest {
+		t.Errorf("%s: memoRestBytes = %d, recount = %d", when, g.memoRestBytes, rest)
+	}
+	if g.syms.nameBytes != symBytes {
+		t.Errorf("%s: symbol nameBytes = %d, recount = %d", when, g.syms.nameBytes, symBytes)
 	}
 	if g.parentCount != parents {
 		t.Errorf("%s: parentCount = %d, recount = %d", when, g.parentCount, parents)

@@ -244,7 +244,7 @@ func (g *EGraph) matchIn(p *Pattern, id ClassID, subst Subst) []Subst {
 	}
 	var results []Subst
 	for _, n := range cls.Nodes {
-		if !nodeMatches(p, n) {
+		if !g.nodeMatches(p, n) {
 			continue
 		}
 		partial := []Subst{subst}
@@ -264,8 +264,11 @@ func (g *EGraph) matchIn(p *Pattern, id ClassID, subst Subst) []Subst {
 }
 
 // nodeMatches checks the node-local parts of a pattern (operator, payload,
-// arity) without descending into children.
-func nodeMatches(p *Pattern, n ENode) bool {
+// arity) without descending into children. Pattern symbols stay strings
+// (patterns are shared across graphs); they are resolved against the
+// graph's intern table here — a symbol never interned in this graph cannot
+// appear on any node, so such patterns simply match nothing.
+func (g *EGraph) nodeMatches(p *Pattern, n ENode) bool {
 	if p.Op != n.Op {
 		return false
 	}
@@ -273,15 +276,22 @@ func nodeMatches(p *Pattern, n ENode) bool {
 	case expr.OpLit:
 		return p.Lit == n.Lit
 	case expr.OpSym:
-		return p.Sym == n.Sym
+		sid, ok := g.syms.Lookup(p.Sym)
+		return ok && sid == n.Sym
 	case expr.OpGet:
-		if p.Sym != "" && p.Sym != n.Sym {
-			return false
+		if p.Sym != "" {
+			sid, ok := g.syms.Lookup(p.Sym)
+			if !ok || sid != n.Sym {
+				return false
+			}
 		}
 		return p.IdxAny || p.Idx == n.Idx
 	case expr.OpFunc, expr.OpVecFunc:
-		if p.Sym != "" && p.Sym != n.Sym {
-			return false
+		if p.Sym != "" {
+			sid, ok := g.syms.Lookup(p.Sym)
+			if !ok || sid != n.Sym {
+				return false
+			}
 		}
 	}
 	return len(p.Args) == len(n.Args)
@@ -297,7 +307,7 @@ func (g *EGraph) Instantiate(p *Pattern, subst Subst) (ClassID, error) {
 		}
 		return g.Find(id), nil
 	}
-	n := ENode{Op: p.Op, Lit: p.Lit, Sym: p.Sym, Idx: p.Idx}
+	n := ENode{Op: p.Op, Lit: p.Lit, Sym: g.InternSym(p.Sym), Idx: p.Idx}
 	if len(p.Args) > 0 {
 		n.Args = make([]ClassID, len(p.Args))
 		for i, a := range p.Args {

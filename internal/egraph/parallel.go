@@ -89,24 +89,34 @@ func searchParallel(ctx context.Context, g *EGraph, rules []Rewrite, workers int
 	// Serial prologue: after this, Find is write-free until the next Union.
 	g.CompressPaths()
 	classes := g.CanonicalClasses()
+	ix := HeadIndex(classes)
 
+	// Shard granularity is derived from the full class count, not per-rule
+	// candidate counts, so the cost of one shard is comparable across rules
+	// regardless of how selective their head-op filters are.
 	shardSize := len(classes) / (workers * 4)
 	if shardSize < matchShardMin {
 		shardSize = matchShardMin
-	}
-	numShards := (len(classes) + shardSize - 1) / shardSize
-	if numShards < 1 {
-		numShards = 1
 	}
 
 	type task struct{ rule, shard int }
 	var tasks []task
 	results := make([][][]Match, len(rules))
 	durs := make([][]time.Duration, len(rules))
+	candidates := make([][]*EClass, len(rules))
 	for i, r := range rules {
 		shards := 1
 		if _, ok := r.(ShardedRewrite); ok {
-			shards = numShards
+			// Shardable rules scan only their head-op candidates, split into
+			// contiguous runs of the (ID-ordered) candidate list. Shard
+			// boundaries differ from the pre-index layout, but the rule-major,
+			// class-ordered merge below is unchanged, so the merged match
+			// lists — and everything downstream — are bit-identical.
+			candidates[i] = ix.Candidates(r)
+			shards = (len(candidates[i]) + shardSize - 1) / shardSize
+			if shards < 1 {
+				shards = 1
+			}
 		}
 		results[i] = make([][]Match, shards)
 		durs[i] = make([]time.Duration, shards)
@@ -123,12 +133,13 @@ func searchParallel(ctx context.Context, g *EGraph, rules []Rewrite, workers int
 		start := time.Now()
 		var ms []Match
 		if sr, ok := r.(ShardedRewrite); ok {
+			cand := candidates[t.rule]
 			lo := t.shard * shardSize
 			hi := lo + shardSize
-			if hi > len(classes) {
-				hi = len(classes)
+			if hi > len(cand) {
+				hi = len(cand)
 			}
-			ms = sr.SearchClasses(g, classes[lo:hi])
+			ms = sr.SearchClasses(g, cand[lo:hi])
 		} else {
 			ms = r.Search(g)
 		}

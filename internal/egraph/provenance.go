@@ -32,10 +32,10 @@ type UnionStep struct {
 
 // provenance is the recording state, allocated by EnableProvenance.
 type provenance struct {
-	// nodes maps the current hashcons key of a rule-created e-node to its
-	// justification. Keys are kept in lockstep with the hashcons: repair
-	// moves entries when a node is re-canonicalized after unions.
-	nodes  map[string]Justification
+	// nodes maps the current (binary) hashcons key of a rule-created e-node
+	// to its justification. Keys are kept in lockstep with the hashcons:
+	// repair moves entries when a node is re-canonicalized after unions.
+	nodes  map[memoKey]Justification
 	unions []UnionStep
 	ctx    Justification // active rule context ("" rule = inactive)
 }
@@ -46,7 +46,7 @@ type provenance struct {
 // justified.
 func (g *EGraph) EnableProvenance() {
 	if g.prov == nil {
-		g.prov = &provenance{nodes: map[string]Justification{}}
+		g.prov = &provenance{nodes: map[memoKey]Justification{}}
 	}
 }
 
@@ -76,9 +76,7 @@ func (g *EGraph) NodeProvenance(n ENode) (Justification, bool) {
 	if g.prov == nil {
 		return Justification{}, false
 	}
-	n = n.clone()
-	g.canonicalize(&n)
-	j, ok := g.prov.nodes[g.nodeKey(n)]
+	j, ok := g.prov.nodes[g.lookupKey(n)]
 	return j, ok
 }
 
@@ -101,7 +99,7 @@ func (g *EGraph) ProvenanceStats() (nodes, unions int) {
 
 // recordNode attaches the active rule context to a newly created node key.
 // Called from Add on hashcons misses only.
-func (p *provenance) recordNode(key string) {
+func (p *provenance) recordNode(key memoKey) {
 	if p.ctx.Rule != "" {
 		p.nodes[key] = p.ctx
 	}
@@ -117,7 +115,7 @@ func (p *provenance) recordUnion(a, b ClassID) {
 // moveKey keeps node justifications keyed by the node's current hashcons
 // key across congruence repair. When two nodes become congruent (same new
 // key), the earliest justification wins.
-func (p *provenance) moveKey(oldKey, newKey string) {
+func (p *provenance) moveKey(oldKey, newKey memoKey) {
 	if oldKey == newKey {
 		return
 	}

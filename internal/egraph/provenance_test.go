@@ -17,7 +17,7 @@ func TestProvenanceDisabledRecordsNothing(t *testing.T) {
 	if n, u := g.ProvenanceStats(); n != 0 || u != 0 {
 		t.Fatalf("disabled stats = (%d, %d), want (0, 0)", n, u)
 	}
-	if _, ok := g.NodeProvenance(ENode{Op: expr.OpSym, Sym: "a"}); ok {
+	if _, ok := g.NodeProvenance(g.LeafNode(expr.OpSym, 0, "a", 0)); ok {
 		t.Fatal("NodeProvenance found a justification while disabled")
 	}
 	if g.Unions() != nil {

@@ -301,6 +301,14 @@ loop:
 				break loop
 			}
 		}
+		// The serial match phase shares the parallel phase's head-op index:
+		// one class snapshot + index build per iteration, then every rule
+		// scans only its candidate classes (searchIndexed falls back to the
+		// rule's own whole-graph Search for non-shardable rewrites).
+		var ix *ClassIndex
+		if par == nil {
+			ix = HeadIndex(g.CanonicalClasses())
+		}
 		k := 0 // cursor into par, advanced once per eligible rule
 		for _, r := range rules {
 			if jr != nil && lim.Backoff != nil {
@@ -325,7 +333,7 @@ loop:
 				if jr != nil {
 					searchStart = time.Now()
 				}
-				ms = r.Search(g)
+				ms = searchIndexed(g, ix, r)
 				if jr != nil {
 					searchDur = time.Since(searchStart)
 				}

@@ -70,7 +70,7 @@ func (ex *Extractor) Decisions(root egraph.ClassID) []Decision {
 		if best == nil || !best.ok {
 			continue
 		}
-		d := Decision{Class: c, Winner: describeNode(best.Node), WinnerCost: best.Cost}
+		d := Decision{Class: c, Winner: ex.describeNode(best.Node), WinnerCost: best.Cost}
 		if _, own, ok := ex.nodeCostParts(best.Node); ok {
 			d.WinnerOwn = own
 		}
@@ -89,7 +89,7 @@ func (ex *Extractor) Decisions(root egraph.ClassID) []Decision {
 			}
 		}
 		if haveRunner {
-			d.RunnerUp = describeNode(runnerNode)
+			d.RunnerUp = ex.describeNode(runnerNode)
 			d.RunnerUpCost = runnerCost
 			d.Margin = runnerCost - best.Cost
 		}
@@ -210,15 +210,16 @@ func (ex *Extractor) sameNode(a, b egraph.ENode) bool {
 }
 
 // describeNode renders a node for the decision trace: literals and symbols
-// by value, Gets with their source, operators with their arity.
-func describeNode(n egraph.ENode) string {
+// by value (resolved through the graph's intern table), Gets with their
+// source, operators with their arity.
+func (ex *Extractor) describeNode(n egraph.ENode) string {
 	switch n.Op {
 	case expr.OpLit:
 		return fmt.Sprintf("%g", n.Lit)
 	case expr.OpSym:
-		return n.Sym
+		return ex.g.SymName(n.Sym)
 	case expr.OpGet:
-		return fmt.Sprintf("(Get %s %d)", n.Sym, n.Idx)
+		return fmt.Sprintf("(Get %s %d)", ex.g.SymName(n.Sym), n.Idx)
 	}
 	if len(n.Args) == 0 {
 		return n.Op.String()

@@ -27,8 +27,13 @@ type Extractor struct {
 	best  map[egraph.ClassID]*Choice
 }
 
-// New prepares an extractor and runs the fixpoint computation.
+// New prepares an extractor and runs the fixpoint computation. Models that
+// price by symbol payload (cost.NeedsSyms, e.g. per-function overrides)
+// are bound to this graph's intern table before any node is priced.
 func New(g *egraph.EGraph, model cost.Model) *Extractor {
+	if ns, ok := model.(cost.NeedsSyms); ok {
+		model = ns.WithSyms(g.SymName)
+	}
 	ex := &Extractor{g: g, model: model, best: map[egraph.ClassID]*Choice{}}
 	ex.run()
 	return ex
@@ -110,7 +115,7 @@ func (ex *Extractor) Expr(id egraph.ClassID) (*expr.Expr, error) {
 		}
 		building[c] = true
 		defer delete(building, c)
-		e := &expr.Expr{Op: b.Node.Op, Lit: b.Node.Lit, Sym: b.Node.Sym, Idx: b.Node.Idx}
+		e := &expr.Expr{Op: b.Node.Op, Lit: b.Node.Lit, Sym: ex.g.SymName(b.Node.Sym), Idx: b.Node.Idx}
 		for _, a := range b.Node.Args {
 			child, err := build(a)
 			if err != nil {

@@ -106,8 +106,14 @@ func TestCostOfMissingClass(t *testing.T) {
 }
 
 func TestClassifyVec(t *testing.T) {
+	syms := map[string]egraph.SymID{}
 	get := func(arr string, i int) cost.ChildInfo {
-		return cost.ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: arr, Idx: i}}
+		id, ok := syms[arr]
+		if !ok {
+			id = egraph.SymID(len(syms) + 1)
+			syms[arr] = id
+		}
+		return cost.ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: id, Idx: i}}
 	}
 	lit := func(v float64) cost.ChildInfo {
 		return cost.ChildInfo{Node: egraph.ENode{Op: expr.OpLit, Lit: v}}
@@ -145,8 +151,14 @@ func TestMovementCostOrdering(t *testing.T) {
 		n := egraph.ENode{Op: expr.OpVec, Args: make([]egraph.ClassID, len(children))}
 		return cost.Diospyros{Width: 4}.NodeCost(n, children)
 	}
+	syms := map[string]egraph.SymID{}
 	get := func(arr string, i int) cost.ChildInfo {
-		return cost.ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: arr, Idx: i}}
+		id, ok := syms[arr]
+		if !ok {
+			id = egraph.SymID(len(syms) + 1)
+			syms[arr] = id
+		}
+		return cost.ChildInfo{Node: egraph.ENode{Op: expr.OpGet, Sym: id, Idx: i}}
 	}
 	lit := cost.ChildInfo{Node: egraph.ENode{Op: expr.OpLit}}
 	opc := cost.ChildInfo{Node: egraph.ENode{Op: expr.OpMul}}

@@ -15,6 +15,10 @@ type chunkRule struct {
 
 func (chunkRule) Name() string { return "list-chunk" }
 
+// RootOps declares the head-op filter for the dispatch index: chunking only
+// matches at classes containing a List node.
+func (chunkRule) RootOps() []expr.Op { return []expr.Op{expr.OpList} }
+
 type chunkMatch struct {
 	elems []egraph.ClassID
 }

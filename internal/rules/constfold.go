@@ -14,6 +14,13 @@ type constFoldRule struct{}
 
 func (constFoldRule) Name() string { return "const-fold" }
 
+// RootOps declares the head-op filter for the dispatch index: folding only
+// fires at classes containing a foldable scalar operator node.
+func (constFoldRule) RootOps() []expr.Op {
+	return []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv,
+		expr.OpNeg, expr.OpSqrt, expr.OpSgn}
+}
+
 type foldMatch struct{ value float64 }
 
 // classLit returns a literal in the class, if any.

@@ -1,0 +1,113 @@
+package rules
+
+import (
+	"reflect"
+	"testing"
+
+	"diospyros/internal/egraph"
+	"diospyros/internal/kernel"
+	"diospyros/internal/kernels"
+)
+
+// suiteSpecs returns the lifted programs of the paper's 21-kernel suite
+// (the same sizes internal/bench.Suite() enumerates — duplicated here
+// because importing bench would cycle through the root package).
+func suiteSpecs() []*kernel.Lifted {
+	var out []*kernel.Lifted
+	for _, sz := range [][4]int{
+		{3, 3, 2, 2}, {3, 3, 3, 3}, {3, 5, 3, 3}, {4, 4, 3, 3},
+		{8, 8, 3, 3}, {10, 10, 2, 2}, {10, 10, 3, 3}, {10, 10, 4, 4},
+		{16, 16, 2, 2}, {16, 16, 3, 3}, {16, 16, 4, 4},
+	} {
+		out = append(out, kernels.Conv2D(sz[0], sz[1], sz[2], sz[3]))
+	}
+	for _, sz := range [][3]int{
+		{2, 2, 2}, {2, 3, 3}, {3, 3, 3}, {4, 4, 4},
+		{8, 8, 8}, {10, 10, 10}, {16, 16, 16},
+	} {
+		out = append(out, kernels.MatMul(sz[0], sz[1], sz[2]))
+	}
+	out = append(out, kernels.QProd(), kernels.QRDecomp(3), kernels.QRDecomp(4))
+	return out
+}
+
+// TestDispatchIndexCompleteness pins the head-op index's soundness across
+// the 21-kernel suite: for every rule, searching only the rule's indexed
+// candidate classes must return exactly the match list a full scan over
+// all canonical classes returns — element for element, in order. This is
+// the property that makes indexed dispatch (DESIGN.md §14) a pure
+// optimization: a class the index prunes is one where the rule cannot
+// match, so the apply phase sees identical input.
+func TestDispatchIndexCompleteness(t *testing.T) {
+	specs := suiteSpecs()
+	if len(specs) != 21 {
+		t.Fatalf("suite has %d kernels, want 21", len(specs))
+	}
+	if testing.Short() {
+		specs = specs[:4]
+	}
+	cfg := Default(4)
+	for _, lf := range specs {
+		rules := cfg.Rules()
+		g := egraph.New()
+		g.AddExpr(lf.Spec)
+		// A short, node-capped run grows a representative mid-search graph;
+		// completeness must hold at any point, so one snapshot per kernel
+		// is enough.
+		egraph.Run(g, rules, egraph.Limits{MaxIterations: 3, MaxNodes: 20000})
+		g.CompressPaths()
+		classes := g.CanonicalClasses()
+		ix := egraph.HeadIndex(classes)
+		for _, r := range rules {
+			sr, ok := r.(egraph.ShardedRewrite)
+			if !ok {
+				// Non-shardable rules always run their own whole-graph
+				// Search; the index never restricts them.
+				continue
+			}
+			full := sr.SearchClasses(g, classes)
+			indexed := sr.SearchClasses(g, ix.Candidates(r))
+			if len(full) != len(indexed) {
+				t.Errorf("%s: rule %s: %d matches full scan, %d indexed",
+					lf.Name, r.Name(), len(full), len(indexed))
+				continue
+			}
+			for i := range full {
+				if !reflect.DeepEqual(full[i], indexed[i]) {
+					t.Errorf("%s: rule %s: match %d differs:\nfull    %+v\nindexed %+v",
+						lf.Name, r.Name(), i, full[i], indexed[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestHeadIndexCandidateOrder checks the multi-root merge path: a rule
+// declaring several head operators gets a candidate list in canonical ID
+// order with no duplicates, even when one class holds nodes under several
+// of its heads.
+func TestHeadIndexCandidateOrder(t *testing.T) {
+	g := egraph.New()
+	lf := kernels.MatMul(3, 3, 3)
+	g.AddExpr(lf.Spec)
+	rules := Default(4).Rules()
+	egraph.Run(g, rules, egraph.Limits{MaxIterations: 2, MaxNodes: 10000})
+	g.CompressPaths()
+	ix := egraph.HeadIndex(g.CanonicalClasses())
+	for _, r := range rules {
+		hi, ok := r.(egraph.HeadIndexed)
+		if !ok || len(hi.RootOps()) < 2 {
+			continue
+		}
+		cand := ix.Candidates(r)
+		for i := 1; i < len(cand); i++ {
+			if cand[i].ID <= cand[i-1].ID {
+				t.Fatalf("rule %s: candidates out of order or duplicated at %d: %d then %d",
+					r.Name(), i, cand[i-1].ID, cand[i].ID)
+			}
+		}
+		return // found and checked a multi-root rule
+	}
+	t.Fatal("no multi-root rule in the default set (const-fold should be)")
+}

@@ -27,8 +27,8 @@ func (o operand) resolve(g *egraph.EGraph) egraph.ClassID {
 // operator to introduce and, for each lane, the operand tuple it
 // decomposes into.
 type vecMatch struct {
-	op    expr.Op // vector operator (VecAdd, VecMul, ..., VecFunc)
-	sym   string  // function name for VecFunc
+	op    expr.Op      // vector operator (VecAdd, VecMul, ..., VecFunc)
+	sym   egraph.SymID // interned function name for VecFunc
 	lanes [][]operand
 }
 
@@ -75,6 +75,11 @@ func newWidthSet(cfg Config) widthSet {
 }
 
 func (vectorizeRule) Name() string { return "vec-lanewise" }
+
+// RootOps declares the head-op filter for the dispatch index
+// (egraph.HeadIndexed): lane-wise vectorization only matches at classes
+// containing a Vec node.
+func (vectorizeRule) RootOps() []expr.Op { return []expr.Op{expr.OpVec} }
 
 // laneOps are the scalar operator families handled by vectorizeRule.
 // zeroOps gives the operand tuple that makes the operator yield 0 for
@@ -136,7 +141,7 @@ func (vectorizeRule) searchFunc(g *egraph.EGraph, class egraph.ClassID, vecNode 
 		return nil
 	}
 	var out []egraph.Match
-	tried := map[string]bool{}
+	tried := map[egraph.SymID]bool{}
 	for _, n := range first.Nodes {
 		if n.Op != expr.OpFunc || tried[n.Sym] {
 			continue
@@ -281,6 +286,10 @@ func newMACRule(cfg Config) egraph.Rewrite {
 }
 
 func (macRule) Name() string { return "vec-mac" }
+
+// RootOps declares the head-op filter for the dispatch index: MAC fusion
+// only matches at classes containing a Vec node.
+func (macRule) RootOps() []expr.Op { return []expr.Op{expr.OpVec} }
 
 func (r macRule) Search(g *egraph.EGraph) []egraph.Match {
 	return r.SearchClasses(g, g.CanonicalClasses())
